@@ -1,0 +1,92 @@
+// Ablation: forward checking (CpSolver) vs domain propagation
+// (PropagatingCpSolver) — what Choco-style filtering buys on this
+// problem.  Reports explored nodes, backtracks, time and whether
+// optimality was proven, per instance size and constraint density.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "common/stats.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "lp/cp_solver.h"
+#include "lp/propagating_solver.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace iaas;
+  using iaas::bench::apply_env;
+  using iaas::bench::csv_dir;
+
+  std::printf("=== Ablation: CP forward checking vs domain propagation ===\n");
+  iaas::bench::SweepConfig env_probe;
+  env_probe.runs = 3;
+  env_probe = apply_env(env_probe);
+  const std::size_t runs = env_probe.runs;
+
+  // Sized so optimality is provable within budget — the point is the
+  // engine comparison (nodes/time to *proof*), not budget saturation.
+  struct Case {
+    std::uint32_t servers;
+    std::uint32_t vms;
+    double constrained;
+  };
+  const std::vector<Case> cases = {
+      {8, 10, 0.3}, {8, 10, 0.8}, {8, 14, 0.3}, {8, 14, 0.8}};
+
+  TextTable table({"scenario", "engine", "mean nodes", "mean backtracks",
+                   "mean time (s)", "proved optimal"});
+  CsvWriter csv(csv_dir() + "/ablation_cp_propagation.csv",
+                {"servers", "constrained_fraction", "engine", "nodes",
+                 "backtracks", "seconds", "proved"});
+
+  CpSolverOptions options;
+  options.time_limit_seconds = 10.0;
+  options.max_backtracks = 100000;
+
+  for (const Case& c : cases) {
+    ScenarioConfig scenario = ScenarioConfig::paper_scale(c.servers);
+    scenario.vms = c.vms;
+    scenario.constrained_fraction = c.constrained;
+    const ScenarioGenerator generator(scenario);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%u srv, %u VMs, %.0f%% constr",
+                  c.servers, c.vms, 100.0 * c.constrained);
+
+    for (int engine = 0; engine < 2; ++engine) {
+      RunningStats nodes, backtracks, time_s, proved;
+      for (std::size_t run = 0; run < runs; ++run) {
+        const Instance inst = generator.generate(1300 + run);
+        CpStats stats;
+        Stopwatch timer;
+        if (engine == 0) {
+          CpSolver(inst, options).solve(&stats);
+        } else {
+          PropagatingCpSolver(inst, options).solve(&stats);
+        }
+        time_s.add(timer.elapsed_seconds());
+        nodes.add(static_cast<double>(stats.nodes));
+        backtracks.add(static_cast<double>(stats.backtracks));
+        proved.add(stats.proved_optimal ? 1.0 : 0.0);
+      }
+      const char* engine_name =
+          engine == 0 ? "forward-checking" : "propagation";
+      table.add_row({label, engine_name, TextTable::num(nodes.mean(), 0),
+                     TextTable::num(backtracks.mean(), 0),
+                     TextTable::num(time_s.mean(), 3),
+                     TextTable::num(100.0 * proved.mean(), 0) + "%"});
+      csv.add_row({std::to_string(c.servers),
+                   TextTable::num(c.constrained, 2), engine_name,
+                   TextTable::num(nodes.mean(), 1),
+                   TextTable::num(backtracks.mean(), 1),
+                   TextTable::num(time_s.mean(), 6),
+                   TextTable::num(proved.mean(), 2)});
+    }
+  }
+  std::printf("\n%zu runs per cell, 10 s / 100k-backtrack budgets:\n", runs);
+  table.print();
+  std::printf(
+      "\nReading: propagation prunes via domain wipeouts before branching;"
+      "\nthe denser the relationship constraints, the bigger its edge.\n");
+  return 0;
+}

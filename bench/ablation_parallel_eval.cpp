@@ -1,0 +1,86 @@
+// Ablation: parallel objective evaluation (the HPC lever this library
+// adds on top of the paper).  Population evaluation is embarrassingly
+// parallel; this bench reports the NSGA-III+Tabu wall-clock speed-up per
+// worker count, plus reference-point density cost.
+#include <cstdio>
+
+#include "algo/nsga_allocators.h"
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace iaas;
+  using iaas::bench::apply_env;
+  using iaas::bench::csv_dir;
+
+  std::printf("=== Ablation: parallel evaluation & reference density ===\n");
+  iaas::bench::SweepConfig env_probe;
+  env_probe.runs = 2;
+  env_probe = apply_env(env_probe);
+  const std::size_t runs = env_probe.runs;
+
+  ScenarioConfig scenario = ScenarioConfig::paper_scale(96);
+  const ScenarioGenerator generator(scenario);
+
+  {
+    TextTable table({"threads", "mean time (s)", "speed-up vs 1"});
+    CsvWriter csv(csv_dir() + "/ablation_parallel_eval.csv",
+                  {"threads", "seconds", "speedup"});
+    double baseline = 0.0;
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+      RunningStats time_s;
+      for (std::size_t run = 0; run < runs; ++run) {
+        const Instance inst = generator.generate(300 + run);
+        EaAllocatorOptions options;
+        options.nsga.threads = threads;
+        Nsga3TabuAllocator allocator(options);
+        time_s.add(allocator.allocate(inst, run + 1).wall_seconds);
+      }
+      if (threads == 1) {
+        baseline = time_s.mean();
+      }
+      const double speedup = baseline / std::max(time_s.mean(), 1e-9);
+      table.add_row({std::to_string(threads),
+                     TextTable::num(time_s.mean(), 3),
+                     TextTable::num(speedup, 2)});
+      csv.add_row({std::to_string(threads), TextTable::num(time_s.mean(), 6),
+                   TextTable::num(speedup, 4)});
+    }
+    std::printf("\nNSGA-III+Tabu at 96 servers / 192 VMs, %zu runs each:\n",
+                runs);
+    table.print();
+  }
+
+  {
+    TextTable table({"Das-Dennis divisions", "reference points",
+                     "mean time (s)", "rejection rate"});
+    CsvWriter csv(csv_dir() + "/ablation_reference_density.csv",
+                  {"divisions", "points", "seconds", "rejection_rate"});
+    for (std::size_t divisions : {4u, 8u, 12u, 16u}) {
+      RunningStats time_s, rej;
+      for (std::size_t run = 0; run < runs; ++run) {
+        const Instance inst = generator.generate(400 + run);
+        EaAllocatorOptions options;
+        options.nsga.threads = 0;
+        options.nsga.reference_divisions = divisions;
+        Nsga3TabuAllocator allocator(options);
+        const AllocationResult r = allocator.allocate(inst, run + 1);
+        time_s.add(r.wall_seconds);
+        rej.add(r.rejection_rate());
+      }
+      const std::size_t points = (divisions + 2) * (divisions + 1) / 2;
+      table.add_row({std::to_string(divisions), std::to_string(points),
+                     TextTable::num(time_s.mean(), 3),
+                     TextTable::num(rej.mean(), 4)});
+      csv.add_row({std::to_string(divisions), std::to_string(points),
+                   TextTable::num(time_s.mean(), 6),
+                   TextTable::num(rej.mean(), 6)});
+    }
+    std::printf("\nReference-point density (same scenario):\n");
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Ablation: where in the generation the tabu repair runs.
+//
+// The paper's Fig. 4 repairs the two selected *parents* before variation;
+// our engine can additionally (or instead) repair offspring after
+// variation.  This bench quantifies each choice's effect on violations,
+// rejection and runtime, plus the tabu tenure's influence.
+#include <cstdio>
+
+#include "algo/allocator.h"
+#include "algo/ideal_point.h"
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "common/stats.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "ea/nsga3.h"
+#include "ea/problem.h"
+#include "tabu/repair.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace iaas;
+
+struct Variant {
+  std::string name;
+  bool repair_parents;
+  bool repair_offspring;
+  std::size_t tenure;
+};
+
+}  // namespace
+
+int main() {
+  using iaas::bench::apply_env;
+  using iaas::bench::csv_dir;
+
+  std::printf("=== Ablation: repair placement & tabu tenure ===\n");
+  iaas::bench::SweepConfig env_probe;
+  env_probe.runs = 3;
+  env_probe = apply_env(env_probe);
+  const std::size_t runs = env_probe.runs;
+
+  ScenarioConfig scenario = ScenarioConfig::paper_scale(32);
+  scenario.constrained_fraction = 0.4;
+  const ScenarioGenerator generator(scenario);
+
+  const std::vector<Variant> variants = {
+      {"parents only (paper Fig. 4)", true, false, 16},
+      {"offspring only", false, true, 16},
+      {"parents + offspring", true, true, 16},
+      {"both, tenure 0 (no memory)", true, true, 0},
+      {"both, tenure 64", true, true, 64},
+  };
+
+  TextTable table({"variant", "mean time (s)", "raw violations",
+                   "rejection rate", "repairs/run"});
+  CsvWriter csv(csv_dir() + "/ablation_repair_placement.csv",
+                {"variant", "seconds", "violations", "rejection_rate",
+                 "repair_invocations"});
+
+  for (const Variant& v : variants) {
+    RunningStats time_s, viols, rej, reps;
+    for (std::size_t run = 0; run < runs; ++run) {
+      const Instance inst = generator.generate(200 + run);
+      AllocationProblem problem(inst);
+      NsgaConfig cfg;
+      cfg.threads = 0;
+      cfg.constraint_mode = ConstraintMode::kRepair;
+      cfg.repair_parents = v.repair_parents;
+      cfg.repair_offspring = v.repair_offspring;
+      TabuRepairOptions repair_options;
+      repair_options.tabu_tenure = v.tenure;
+      TabuRepair repair(inst, repair_options);
+      Nsga3 engine(problem, cfg,
+                   [&repair](std::vector<std::int32_t>& genes, Rng& rng) {
+                     repair.repair(genes, rng);
+                   });
+      Stopwatch timer;
+      const auto ea_result = engine.run(run + 1);
+      const double seconds = timer.elapsed_seconds();
+      const std::size_t pick = select_ideal_point(ea_result.front);
+      const AllocationResult r = Allocator::finalize(
+          inst, v.name, Placement(ea_result.front[pick].genes), seconds, 0,
+          {});
+      time_s.add(seconds);
+      viols.add(static_cast<double>(r.raw_violations.total()));
+      rej.add(r.rejection_rate());
+      reps.add(static_cast<double>(ea_result.repair_invocations));
+    }
+    table.add_row({v.name, TextTable::num(time_s.mean(), 3),
+                   TextTable::num(viols.mean(), 2),
+                   TextTable::num(rej.mean(), 4),
+                   TextTable::num(reps.mean(), 0)});
+    csv.add_row({v.name, TextTable::num(time_s.mean(), 6),
+                 TextTable::num(viols.mean(), 4),
+                 TextTable::num(rej.mean(), 6),
+                 TextTable::num(reps.mean(), 1)});
+  }
+  std::printf("\nNSGA-III+Tabu at 32 servers / 64 VMs, %zu runs each:\n",
+              runs);
+  table.print();
+  std::printf(
+      "\nReading: all placements converge to feasibility here because"
+      "\nconstrained dominance steers selection; parent-only repair (the"
+      "\nliteral Fig. 4) is the cheapest since feasible parents skip the"
+      "\nrepair entirely, while offspring repair pays one pass per child"
+      "\nbut keeps the whole final population feasible every generation.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 8: average execution time, *many* resources (up to the paper's
+// 800 servers / 1600 VMs).
+//
+// Paper's finding: constraint programming, Round Robin(*) and NSGA-III
+// with the constraint-solver repair do not scale in resolution time;
+// unmodified NSGA-II/III and NSGA-III+Tabu keep answering quickly.
+// ((*) the paper lumps RR into the non-scaling set because its affinity
+// bookkeeping degrades; our RR implementation scans at most m servers per
+// VM, so its growth is visible but mild.)
+//
+// An algorithm whose mean at a size exceeds the per-run cap is skipped at
+// larger sizes and shown as "> cap" — the non-scaling outcome without
+// burning hours.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace iaas;
+  using namespace iaas::bench;
+
+  std::printf("=== Fig. 8: average execution time, many resources ===\n");
+  SweepConfig config;
+  config.server_sizes = {100, 200, 400, 800};
+  config.runs = 2;
+  config.per_run_cap_seconds = 25.0;
+  config.suite = paper_suite();
+  config = apply_env(config);
+  print_nsga_settings(config.suite.ea.nsga);
+
+  const SweepResult result = run_sweep(config);
+  print_metric_table(result, "Mean execution time (seconds)",
+                     &CellStats::mean_seconds, 3,
+                     csv_dir() + "/fig08_exec_time_large.csv");
+
+  std::printf(
+      "\nExpected shape (paper): ConstraintProgramming and NSGA-III+CP blow"
+      "\nup with size; NSGA-III and NSGA-III+Tabu stay tractable.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Grand comparison: the paper's six algorithms plus this library's three
+// extended baselines, side by side on every §IV metric at one mid-size
+// scenario — the one-stop summary table.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/csv.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace iaas;
+  using iaas::bench::apply_env;
+  using iaas::bench::csv_dir;
+  using iaas::bench::paper_suite;
+
+  std::printf("=== Grand comparison: all nine allocators ===\n");
+  iaas::bench::SweepConfig env_probe;
+  env_probe.runs = 3;
+  env_probe = apply_env(env_probe);
+  const std::size_t runs = env_probe.runs;
+
+  ScenarioConfig scenario = ScenarioConfig::paper_scale(64);
+  scenario.preplaced_fraction = 0.3;  // migrations in play
+  const ScenarioGenerator generator(scenario);
+  const SuiteOptions suite = paper_suite();
+
+  std::vector<AlgorithmId> algorithms = all_algorithms();
+  for (AlgorithmId id : extended_algorithms()) {
+    algorithms.push_back(id);
+  }
+
+  TextTable table({"algorithm", "time (s)", "rejection", "violations",
+                   "usage+opex", "downtime", "migration", "total"});
+  CsvWriter csv(csv_dir() + "/grand_comparison.csv",
+                {"algorithm", "seconds", "rejection_rate", "violations",
+                 "usage_opex", "downtime", "migration", "total"});
+
+  for (AlgorithmId id : algorithms) {
+    RunningStats time_s, rej, viol, usage, down, mig;
+    for (std::size_t run = 0; run < runs; ++run) {
+      const Instance inst = generator.generate(1100 + run);
+      const AllocationResult r =
+          make_allocator(id, suite)->allocate(inst, 13 + run);
+      time_s.add(r.wall_seconds);
+      rej.add(r.rejection_rate());
+      viol.add(static_cast<double>(r.raw_violations.total()));
+      usage.add(r.objectives.usage_cost);
+      down.add(r.objectives.downtime_cost);
+      mig.add(r.objectives.migration_cost);
+    }
+    const double total = usage.mean() + down.mean() + mig.mean();
+    table.add_row({algorithm_name(id), TextTable::num(time_s.mean(), 3),
+                   TextTable::num(rej.mean(), 3),
+                   TextTable::num(viol.mean(), 1),
+                   TextTable::num(usage.mean(), 1),
+                   TextTable::num(down.mean(), 1),
+                   TextTable::num(mig.mean(), 1),
+                   TextTable::num(total, 1)});
+    csv.add_row({algorithm_name(id), TextTable::num(time_s.mean(), 6),
+                 TextTable::num(rej.mean(), 6),
+                 TextTable::num(viol.mean(), 2),
+                 TextTable::num(usage.mean(), 4),
+                 TextTable::num(down.mean(), 4),
+                 TextTable::num(mig.mean(), 4), TextTable::num(total, 4)});
+  }
+  std::printf("\n64 servers / 128 VMs, 30%% preplaced, %zu runs each:\n",
+              runs);
+  table.print();
+  std::printf("CSV: %s/grand_comparison.csv\n", csv_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Micro-benchmarks of the serialisation substrate and the LP machinery:
+// JSON round-trips, DSL parsing, simplex relaxation solves.
+#include <benchmark/benchmark.h>
+
+#include "io/json.h"
+#include "io/request_dsl.h"
+#include "io/serialize.h"
+#include "lp/lin_model.h"
+#include "lp/simplex.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace iaas;
+
+Instance make_instance_for(std::int64_t servers) {
+  ScenarioConfig cfg =
+      ScenarioConfig::paper_scale(static_cast<std::uint32_t>(servers));
+  return ScenarioGenerator(cfg).generate(21);
+}
+
+void BM_InstanceToJson(benchmark::State& state) {
+  const Instance inst = make_instance_for(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(instance_to_json(inst));
+  }
+}
+BENCHMARK(BM_InstanceToJson)->Arg(16)->Arg(128);
+
+void BM_JsonParseInstance(benchmark::State& state) {
+  const Instance inst = make_instance_for(state.range(0));
+  const std::string text = instance_to_json(inst).dump();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Json::parse(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParseInstance)->Arg(16)->Arg(128);
+
+void BM_InstanceRoundTrip(benchmark::State& state) {
+  const Instance inst = make_instance_for(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        instance_from_json(instance_to_json(inst)));
+  }
+}
+BENCHMARK(BM_InstanceRoundTrip)->Arg(16)->Arg(64);
+
+void BM_RequestDslParse(benchmark::State& state) {
+  // Render a generated request set to DSL text, then parse repeatedly.
+  const Instance inst = make_instance_for(16);
+  const std::string text = render_request_dsl(inst.requests);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_request_dsl(text));
+  }
+}
+BENCHMARK(BM_RequestDslParse);
+
+void BM_LinModelBuild(benchmark::State& state) {
+  const Instance inst = make_instance_for(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LinModel(inst));
+  }
+}
+BENCHMARK(BM_LinModelBuild)->Arg(16)->Arg(64);
+
+void BM_LpRelaxation(benchmark::State& state) {
+  const Instance inst = make_instance_for(state.range(0));
+  const LinModel model(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_lp_relaxation(model));
+  }
+}
+BENCHMARK(BM_LpRelaxation)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

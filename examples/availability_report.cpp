@@ -1,0 +1,86 @@
+// Consumer-oriented availability reporting: define a service in the
+// request DSL, let two allocators place it, and quantify what the
+// affinity/anti-affinity constraints actually buy — whole-service
+// availability under server failures, the very quantity the paper's
+// related-work section says prior placement strategies neglect.
+//
+//   $ ./availability_report [failure_probability]   (default 0.05)
+#include <cstdio>
+#include <cstdlib>
+
+#include "algo/nsga_allocators.h"
+#include "algo/round_robin.h"
+#include "io/request_dsl.h"
+#include "io/serialize.h"
+#include "model/availability.h"
+#include "workload/generator.h"
+
+using namespace iaas;
+
+namespace {
+
+constexpr const char* kServiceDsl = R"(
+# An e-commerce deployment with explicit availability interests.
+vm lb-a     cpu=2  ram=4  disk=40  qos=0.92 downtime_cost=30 migration_cost=5
+vm lb-b     cpu=2  ram=4  disk=40  qos=0.92 downtime_cost=30 migration_cost=5
+vm app-1    cpu=4  ram=8  disk=80  qos=0.90 downtime_cost=20 migration_cost=4
+vm app-2    cpu=4  ram=8  disk=80  qos=0.90 downtime_cost=20 migration_cost=4
+vm app-3    cpu=4  ram=8  disk=80  qos=0.90 downtime_cost=20 migration_cost=4
+vm cache    cpu=2  ram=16 disk=20  qos=0.85 downtime_cost=10 migration_cost=2
+vm db-main  cpu=8  ram=32 disk=320 qos=0.94 downtime_cost=60 migration_cost=9
+vm db-rep   cpu=8  ram=32 disk=320 qos=0.94 downtime_cost=60 migration_cost=9
+
+group different-datacenters lb-a lb-b
+group different-servers app-1 app-2 app-3
+group same-server app-1 cache
+group different-datacenters db-main db-rep
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double p_fail = argc > 1 ? std::strtod(argv[1], nullptr) : 0.05;
+
+  const ParsedRequests parsed = parse_request_dsl(kServiceDsl);
+  std::printf("Parsed %zu VMs, %zu relationship groups from the DSL\n",
+              parsed.requests.vms.size(),
+              parsed.requests.constraints.size());
+
+  ScenarioConfig scenario;
+  scenario.datacenters = 2;
+  scenario.total_servers = 32;
+  const ScenarioGenerator generator(scenario);
+  Instance instance(generator.generate_infrastructure(3), parsed.requests);
+
+  RoundRobinAllocator rr;
+  Nsga3TabuAllocator hybrid;
+  for (Allocator* allocator : {static_cast<Allocator*>(&rr),
+                               static_cast<Allocator*>(&hybrid)}) {
+    const AllocationResult result = allocator->allocate(instance, 9);
+    std::printf("\n--- %s (placed %zu/%zu) ---\n", result.algorithm.c_str(),
+                result.vm_count - result.rejected, result.vm_count);
+    const auto report =
+        placement_availability(instance, result.placement, p_fail);
+    for (std::size_t c = 0; c < report.size(); ++c) {
+      const PlacementConstraint& pc = instance.requests.constraints[c];
+      std::printf("  group[%zu] %-22s", c,
+                  relation_kind_to_string(pc.kind).c_str());
+      std::printf(" members:");
+      for (std::uint32_t k : pc.vms) {
+        std::printf(" %s", parsed.vm_names[k].c_str());
+      }
+      std::printf("\n    hosts %zu, DCs %zu, P(all up) %.4f,"
+                  " P(any up) %.6f, min path redundancy %u\n",
+                  report[c].distinct_servers,
+                  report[c].distinct_datacenters,
+                  report[c].all_up_probability,
+                  report[c].any_up_probability,
+                  report[c].min_path_redundancy);
+    }
+  }
+  std::printf("\n(per-server failure probability %.3f; the anti-affinity"
+              " groups' P(any up)\nis what consumers buy with separation"
+              " constraints)\n",
+              p_fail);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Running the cyclic time-window scheduler (paper §III): requests arrive
+// and depart over windows; each window the allocator re-solves the whole
+// platform and the diff becomes a reconfiguration plan whose migrations
+// are priced by Eq. 26.
+//
+// The provider-oriented story: the hybrid consolidates onto fewer servers
+// (lower opex) while keeping migrations modest, something the one-shot
+// Round Robin cannot do.
+//
+//   $ ./consolidation_migration
+#include <cstdio>
+#include <memory>
+
+#include "algo/registry.h"
+#include "sim/simulator.h"
+
+using namespace iaas;
+
+namespace {
+
+void run(AlgorithmId id, const SimConfig& config) {
+  SuiteOptions suite;
+  suite.ea.nsga.threads = 0;
+  suite.ea.nsga.max_evaluations = 4000;  // interactive-speed windows
+  CloudSimulator sim(config, make_allocator(id, suite));
+  const auto metrics = sim.run(/*seed=*/2026);
+
+  std::printf("--- %s over %zu windows ---\n", algorithm_name(id).c_str(),
+              config.windows);
+  std::printf("%-7s %8s %8s %8s %8s %6s %11s %10s\n", "window", "arrived",
+              "departed", "running", "rejected", "boots", "migrations",
+              "cost");
+  double total_cost = 0.0;
+  std::size_t total_migrations = 0;
+  for (const WindowMetrics& w : metrics) {
+    std::printf("%-7zu %8zu %8zu %8zu %8zu %6zu %11zu %10.2f\n", w.window,
+                w.arrived, w.departed, w.running, w.rejected, w.boots,
+                w.migrations, w.objectives.aggregate());
+    total_cost += w.objectives.aggregate();
+    total_migrations += w.migrations;
+  }
+  std::printf("total: cost %.2f, migrations %zu\n\n", total_cost,
+              total_migrations);
+}
+
+}  // namespace
+
+int main() {
+  SimConfig config;
+  config.windows = 8;
+  config.arrivals_per_window_mean = 18.0;
+  config.departure_probability = 0.12;
+  config.scenario = ScenarioConfig::paper_scale(32);
+
+  std::printf("Cyclic time-window simulation: 32 servers, Poisson(%.0f)"
+              " arrivals/window, %.0f%% departures/window\n\n",
+              config.arrivals_per_window_mean,
+              config.departure_probability * 100.0);
+
+  run(AlgorithmId::kRoundRobin, config);
+  run(AlgorithmId::kNsga3Tabu, config);
+
+  std::printf(
+      "Reading: the hybrid's per-window cost stays below Round Robin's —\n"
+      "it consolidates (fewer servers paying opex) while its warm-started\n"
+      "search plus the Eq. 26 migration term hold running VMs in place;\n"
+      "stateless Round Robin reshuffles the platform every window.\n");
+  return 0;
+}

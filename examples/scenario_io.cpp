@@ -1,0 +1,68 @@
+// Working with scenario files: persist a generated scenario as JSON,
+// reload it, allocate, and export results with normalized metrics —
+// the workflow for sharing reproducible experiments.
+//
+//   $ ./scenario_io [path]        (default /tmp/iaas_scenario.json)
+#include <cstdio>
+#include <string>
+
+#include "algo/metrics.h"
+#include "algo/registry.h"
+#include "io/serialize.h"
+#include "workload/generator.h"
+
+using namespace iaas;
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : "/tmp/iaas_scenario.json";
+
+  // 1. Generate and persist a scenario.
+  ScenarioConfig cfg = ScenarioConfig::paper_scale(24);
+  cfg.preplaced_fraction = 0.25;  // some VMs already running
+  const Instance generated = ScenarioGenerator(cfg).generate(/*seed=*/404);
+  save_instance(generated, path);
+  std::printf("Scenario saved to %s (%zu servers, %zu VMs, %zu groups)\n",
+              path.c_str(), generated.m(), generated.n(),
+              generated.requests.constraints.size());
+
+  // 2. Reload — bit-identical model (see test_io.cpp round-trip tests).
+  const Instance instance = load_instance(path);
+
+  // 3. Allocate with two algorithms and compare normalized metrics (the
+  //    paper's future-work cost-per-request comparison).
+  SuiteOptions suite;
+  suite.ea.nsga.threads = 0;
+  for (AlgorithmId id :
+       {AlgorithmId::kRoundRobin, AlgorithmId::kNsga3Tabu}) {
+    const AllocationResult result =
+        make_allocator(id, suite)->allocate(instance, /*seed=*/7);
+    const NormalizedMetrics metrics = compute_metrics(instance, result);
+    const UtilizationSummary util =
+        compute_utilization(instance, result.placement);
+
+    std::printf("\n--- %s ---\n", result.algorithm.c_str());
+    std::printf("acceptance %.1f%%, cost/request %.3f,"
+                " cost/demanded-unit %.4f\n",
+                100.0 * metrics.acceptance_rate,
+                metrics.cost_per_accepted_request,
+                metrics.cost_per_demanded_unit);
+    std::printf("revenue %.2f, net profit %.2f\n", metrics.revenue,
+                metrics.net_profit);
+    std::printf("%zu servers in use, mean worst-attribute load %.2f"
+                " (peak %.2f)\n",
+                util.used_servers, util.mean_worst_load,
+                util.peak_worst_load);
+
+    const std::string result_path =
+        path + "." + result.algorithm + ".result.json";
+    std::FILE* out = std::fopen(result_path.c_str(), "w");
+    if (out != nullptr) {
+      const std::string dumped = result_to_json(result).dump(2);
+      std::fwrite(dumped.data(), 1, dumped.size(), out);
+      std::fclose(out);
+      std::printf("result written to %s\n", result_path.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "algo/allocator.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+#include "model/constraint_checker.h"
+
+namespace iaas {
+
+Placement sanitize_placement(const Instance& instance, const Placement& raw) {
+  IAAS_EXPECT(raw.vm_count() == instance.n(),
+              "placement size mismatch with instance");
+  ConstraintChecker checker(instance);
+  Placement placement = raw;
+
+  // Drop assignments to out-of-range servers outright (defensive; EA
+  // genes are clamped but external callers may feed anything).
+  for (std::size_t k = 0; k < instance.n(); ++k) {
+    const std::int32_t j = placement.server_of(k);
+    if (j != Placement::kRejected &&
+        (j < 0 || static_cast<std::size_t>(j) >= instance.m())) {
+      placement.reject(k);
+    }
+  }
+
+  // 1. Relationship groups: thin each violated group to a legal subset.
+  for (const PlacementConstraint& c : instance.requests.constraints) {
+    if (checker.relation_satisfied(c, placement)) {
+      continue;
+    }
+    switch (c.kind) {
+      case RelationKind::kSameServer:
+      case RelationKind::kSameDatacenter: {
+        // Keep the majority server/datacenter; reject the stragglers.
+        std::vector<std::int32_t> slots;
+        for (std::uint32_t k : c.vms) {
+          if (!placement.is_assigned(k)) {
+            continue;
+          }
+          const auto j = static_cast<std::size_t>(placement.server_of(k));
+          slots.push_back(c.kind == RelationKind::kSameServer
+                              ? placement.server_of(k)
+                              : static_cast<std::int32_t>(
+                                    instance.infra.datacenter_of(j)));
+        }
+        std::int32_t majority = slots.front();
+        std::size_t best_count = 0;
+        for (std::int32_t s : slots) {
+          const auto count = static_cast<std::size_t>(
+              std::count(slots.begin(), slots.end(), s));
+          if (count > best_count) {
+            best_count = count;
+            majority = s;
+          }
+        }
+        for (std::uint32_t k : c.vms) {
+          if (!placement.is_assigned(k)) {
+            continue;
+          }
+          const auto j = static_cast<std::size_t>(placement.server_of(k));
+          const std::int32_t slot =
+              c.kind == RelationKind::kSameServer
+                  ? placement.server_of(k)
+                  : static_cast<std::int32_t>(instance.infra.datacenter_of(j));
+          if (slot != majority) {
+            placement.reject(k);
+          }
+        }
+        break;
+      }
+      case RelationKind::kDifferentServers:
+      case RelationKind::kDifferentDatacenters: {
+        std::vector<std::int32_t> taken;
+        for (std::uint32_t k : c.vms) {
+          if (!placement.is_assigned(k)) {
+            continue;
+          }
+          const auto j = static_cast<std::size_t>(placement.server_of(k));
+          const std::int32_t slot =
+              c.kind == RelationKind::kDifferentServers
+                  ? placement.server_of(k)
+                  : static_cast<std::int32_t>(instance.infra.datacenter_of(j));
+          if (std::find(taken.begin(), taken.end(), slot) != taken.end()) {
+            placement.reject(k);  // duplicate occupant
+          } else {
+            taken.push_back(slot);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // 2. Capacity: overloaded servers shed their largest VMs first.
+  Matrix<double> used;
+  checker.compute_used(placement, used);
+  for (std::size_t j = 0; j < instance.m(); ++j) {
+    const Server& server = instance.infra.server(j);
+    auto exceeds = [&] {
+      for (std::size_t l = 0; l < instance.h(); ++l) {
+        if (used(j, l) > server.effective_capacity(l) + 1e-9) {
+          return true;
+        }
+      }
+      return false;
+    };
+    if (!exceeds()) {
+      continue;
+    }
+    // VMs on j sorted by largest relative demand — shedding big ones
+    // first rejects the fewest requests.
+    std::vector<std::uint32_t> occupants;
+    for (std::size_t k = 0; k < instance.n(); ++k) {
+      if (placement.is_assigned(k) &&
+          static_cast<std::size_t>(placement.server_of(k)) == j) {
+        occupants.push_back(static_cast<std::uint32_t>(k));
+      }
+    }
+    auto relative_demand = [&](std::uint32_t k) {
+      double worst = 0.0;
+      for (std::size_t l = 0; l < instance.h(); ++l) {
+        worst = std::max(worst, instance.requests.vms[k].demand[l] /
+                                    server.effective_capacity(l));
+      }
+      return worst;
+    };
+    std::stable_sort(occupants.begin(), occupants.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return relative_demand(a) > relative_demand(b);
+                     });
+    for (std::uint32_t k : occupants) {
+      if (!exceeds()) {
+        break;
+      }
+      for (std::size_t l = 0; l < instance.h(); ++l) {
+        used(j, l) -= instance.requests.vms[k].demand[l];
+      }
+      placement.reject(k);
+    }
+  }
+
+  IAAS_DEBUG_EXPECT(ConstraintChecker(instance).check(placement).feasible(),
+                    "sanitized placement must be feasible");
+  return placement;
+}
+
+AllocationResult Allocator::finalize(const Instance& instance,
+                                     std::string algorithm, Placement raw,
+                                     double wall_seconds,
+                                     std::size_t evaluations,
+                                     const ObjectiveOptions& options) {
+  AllocationResult result;
+  result.algorithm = std::move(algorithm);
+  result.vm_count = instance.n();
+  result.wall_seconds = wall_seconds;
+  result.evaluations = evaluations;
+
+  ConstraintChecker checker(instance);
+  result.raw_violations = checker.check(raw);
+  result.raw_placement = std::move(raw);
+
+  result.placement = sanitize_placement(instance, result.raw_placement);
+  result.rejected = result.placement.rejected_count();
+
+  Evaluator evaluator(instance, options);
+  result.objectives = evaluator.objectives(result.placement);
+  return result;
+}
+
+}  // namespace iaas

@@ -1,0 +1,72 @@
+// Unified allocator interface and result record for the paper's
+// algorithm comparison (§IV): every algorithm is measured on
+//   a) execution time, b) rejection rate, c) violated constraints,
+//   d) provider cost — the four axes of Figs. 7-11.
+//
+// Result semantics: `raw_placement` is the algorithm's direct output and
+// `raw_violations` its constraint audit (Fig. 10 reports the raw
+// violations of the unmodified EAs).  Since a provider cannot deploy a
+// violating plan, the raw output is then *sanitized* — every VM whose
+// placement breaks a constraint is rejected — and the deployable
+// `placement` drives cost (Fig. 11) and the rejection rate (Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "model/instance.h"
+#include "model/objectives.h"
+#include "model/placement.h"
+
+namespace iaas {
+
+struct AllocationResult {
+  std::string algorithm;
+
+  Placement raw_placement;         // as produced by the algorithm
+  ViolationReport raw_violations;  // audit of the raw output (Fig. 10)
+
+  Placement placement;             // sanitized, always feasible
+  ObjectiveVector objectives;      // of the sanitized placement (Fig. 11)
+  std::size_t vm_count = 0;
+  std::size_t rejected = 0;        // of the sanitized placement (Fig. 9)
+
+  double wall_seconds = 0.0;       // Fig. 7/8
+  std::size_t evaluations = 0;     // EA objective evaluations (0 otherwise)
+
+  [[nodiscard]] double rejection_rate() const {
+    return vm_count == 0
+               ? 0.0
+               : static_cast<double>(rejected) /
+                     static_cast<double>(vm_count);
+  }
+};
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // Produce an allocation for the instance.  `seed` drives every
+  // stochastic component; deterministic algorithms ignore it.
+  virtual AllocationResult allocate(const Instance& instance,
+                                    std::uint64_t seed) = 0;
+
+  // Audits + sanitizes a raw placement and fills the metric fields.
+  // Public so composition helpers (and tests) can reuse the pipeline.
+  static AllocationResult finalize(const Instance& instance,
+                                   std::string algorithm, Placement raw,
+                                   double wall_seconds,
+                                   std::size_t evaluations,
+                                   const ObjectiveOptions& options);
+};
+
+// Rejects every VM participating in a violated constraint so the result
+// is deployable: violated relationship groups are thinned to a legal
+// subset, then overloaded servers shed their largest VMs.  Rejection can
+// never introduce a new violation, so the output is always feasible.
+Placement sanitize_placement(const Instance& instance, const Placement& raw);
+
+}  // namespace iaas

@@ -1,0 +1,40 @@
+// Constraint-programming baseline — the paper solves the linear model
+// with the Choco solver; this allocator drives our CpSolver substitute
+// (branch-and-bound with propagation, DESIGN.md §4).
+#pragma once
+
+#include "algo/allocator.h"
+#include "lp/cp_solver.h"
+
+namespace iaas {
+
+class CpAllocator : public Allocator {
+ public:
+  // `use_propagation` selects the domain-propagation engine
+  // (PropagatingCpSolver) over the forward-checking CpSolver; both are
+  // complete and prove the same optima (see test_propagating_solver).
+  explicit CpAllocator(CpSolverOptions solver_options = {},
+                       ObjectiveOptions objective_options = {},
+                       bool use_propagation = false)
+      : solver_options_(solver_options),
+        objective_options_(objective_options),
+        use_propagation_(use_propagation) {}
+
+  [[nodiscard]] std::string name() const override {
+    return use_propagation_ ? "ConstraintProgramming(prop)"
+                            : "ConstraintProgramming";
+  }
+
+  AllocationResult allocate(const Instance& instance,
+                            std::uint64_t seed) override;
+
+  [[nodiscard]] const CpStats& last_stats() const { return last_stats_; }
+
+ private:
+  CpSolverOptions solver_options_;
+  ObjectiveOptions objective_options_;
+  bool use_propagation_;
+  CpStats last_stats_;
+};
+
+}  // namespace iaas

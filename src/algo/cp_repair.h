@@ -1,0 +1,45 @@
+// Constraint-solver repair — the paper's "NSGA with constraint solver"
+// variant: instead of the tabu walk, invalid individuals are handed to a
+// small constraint solve.  The VMs participating in violations are
+// unassigned and re-placed by a backtracking search with forward
+// checking (a scoped-down CpSolver).  Heavier than the tabu repair, which
+// is exactly why the paper finds this variant does not scale (Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/constraint_checker.h"
+#include "model/instance.h"
+
+namespace iaas {
+
+struct CpRepairOptions {
+  std::uint64_t max_backtracks = 500;  // per in-loop repair invocation
+  // Budget for the single final pass over the solution actually
+  // returned; a deeper search there is cheap (one invocation) and is
+  // what keeps the CP-hybrid compliant at scale.
+  std::uint64_t final_max_backtracks = 50000;
+};
+
+class CpRepair {
+ public:
+  explicit CpRepair(const Instance& instance, CpRepairOptions options = {});
+
+  // Repairs genes in place; returns remaining violations (0 when the
+  // mini-solve succeeded).  VMs the search cannot re-place keep their
+  // original (violating) server so genes stay fully assigned.
+  std::uint32_t repair(std::vector<std::int32_t>& genes, Rng& rng);
+
+ private:
+  bool dfs(Placement& placement, Matrix<double>& used,
+           const std::vector<std::uint32_t>& order, std::size_t depth,
+           std::uint64_t& backtracks) const;
+
+  const Instance* instance_;
+  CpRepairOptions options_;
+  ConstraintChecker checker_;
+};
+
+}  // namespace iaas

@@ -1,0 +1,112 @@
+#include "algo/heuristics.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/stopwatch.h"
+#include "model/constraint_checker.h"
+
+namespace iaas {
+namespace {
+
+// Largest relative demand of VM k against the fleet-average capacity.
+double relative_size(const Instance& instance, std::size_t k,
+                     const std::vector<double>& mean_capacity) {
+  double worst = 0.0;
+  for (std::size_t l = 0; l < instance.h(); ++l) {
+    worst = std::max(worst,
+                     instance.requests.vms[k].demand[l] / mean_capacity[l]);
+  }
+  return worst;
+}
+
+std::vector<double> fleet_mean_capacity(const Instance& instance) {
+  std::vector<double> mean(instance.h(), 0.0);
+  for (std::size_t j = 0; j < instance.m(); ++j) {
+    for (std::size_t l = 0; l < instance.h(); ++l) {
+      mean[l] += instance.infra.server(j).effective_capacity(l);
+    }
+  }
+  for (double& v : mean) {
+    v /= static_cast<double>(instance.m());
+  }
+  return mean;
+}
+
+void commit(const Instance& instance, Placement& placement,
+            Matrix<double>& used, std::size_t k, std::size_t j) {
+  placement.assign(k, static_cast<std::int32_t>(j));
+  for (std::size_t l = 0; l < instance.h(); ++l) {
+    used(j, l) += instance.requests.vms[k].demand[l];
+  }
+}
+
+}  // namespace
+
+AllocationResult FirstFitDecreasingAllocator::allocate(
+    const Instance& instance, std::uint64_t /*seed*/) {
+  Stopwatch timer;
+  ConstraintChecker checker(instance);
+  Placement placement(instance.n());
+  Matrix<double> used(instance.m(), instance.h());
+
+  const std::vector<double> mean_capacity = fleet_mean_capacity(instance);
+  std::vector<std::uint32_t> order(instance.n());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return relative_size(instance, a, mean_capacity) >
+                            relative_size(instance, b, mean_capacity);
+                   });
+
+  for (std::uint32_t k : order) {
+    for (std::size_t j = 0; j < instance.m(); ++j) {
+      if (checker.is_valid_allocation(placement, used, k, j)) {
+        commit(instance, placement, used, k, j);
+        break;
+      }
+    }
+  }
+  return finalize(instance, name(), std::move(placement),
+                  timer.elapsed_seconds(), 0, options_);
+}
+
+AllocationResult BestFitAllocator::allocate(const Instance& instance,
+                                            std::uint64_t /*seed*/) {
+  Stopwatch timer;
+  ConstraintChecker checker(instance);
+  Placement placement(instance.n());
+  Matrix<double> used(instance.m(), instance.h());
+
+  for (std::size_t k = 0; k < instance.n(); ++k) {
+    const VmRequest& vm = instance.requests.vms[k];
+    double best_slack = std::numeric_limits<double>::infinity();
+    std::int32_t best_server = Placement::kRejected;
+    for (std::size_t j = 0; j < instance.m(); ++j) {
+      if (!checker.is_valid_allocation(placement, used, k, j)) {
+        continue;
+      }
+      // Slack: the loosest attribute after placement; tightest fit wins.
+      const Server& server = instance.infra.server(j);
+      double slack = 0.0;
+      for (std::size_t l = 0; l < instance.h(); ++l) {
+        const double remaining = server.effective_capacity(l) -
+                                 used(j, l) - vm.demand[l];
+        slack = std::max(slack, remaining / server.effective_capacity(l));
+      }
+      if (slack < best_slack) {
+        best_slack = slack;
+        best_server = static_cast<std::int32_t>(j);
+      }
+    }
+    if (best_server != Placement::kRejected) {
+      commit(instance, placement, used, k,
+             static_cast<std::size_t>(best_server));
+    }
+  }
+  return finalize(instance, name(), std::move(placement),
+                  timer.elapsed_seconds(), 0, options_);
+}
+
+}  // namespace iaas

@@ -1,0 +1,106 @@
+#include "algo/metrics.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+#include "model/attributes.h"
+#include "model/load_model.h"
+
+namespace iaas {
+namespace {
+
+double priced_demand(const VmRequest& vm, const PriceModel& prices) {
+  double value = 0.0;
+  if (vm.demand.size() > kCpu) {
+    value += prices.per_cpu_core * vm.demand[kCpu];
+  }
+  if (vm.demand.size() > kRam) {
+    value += prices.per_ram_gb * vm.demand[kRam];
+  }
+  if (vm.demand.size() > kDisk) {
+    value += prices.per_disk_gb * vm.demand[kDisk];
+  }
+  return value;
+}
+
+}  // namespace
+
+NormalizedMetrics compute_metrics(const Instance& instance,
+                                  const AllocationResult& result,
+                                  const PriceModel& prices) {
+  IAAS_EXPECT(result.vm_count == instance.n(),
+              "result does not belong to this instance");
+  NormalizedMetrics metrics;
+  const std::size_t accepted = result.vm_count - result.rejected;
+  metrics.acceptance_rate =
+      result.vm_count == 0
+          ? 0.0
+          : static_cast<double>(accepted) /
+                static_cast<double>(result.vm_count);
+
+  const double total_cost = result.objectives.aggregate();
+  metrics.cost_per_accepted_request =
+      accepted == 0 ? 0.0 : total_cost / static_cast<double>(accepted);
+
+  double demanded_value = 0.0;
+  for (const VmRequest& vm : instance.requests.vms) {
+    demanded_value += priced_demand(vm, prices);
+  }
+  metrics.cost_per_demanded_unit =
+      demanded_value <= 0.0 ? 0.0 : total_cost / demanded_value;
+
+  for (std::size_t k = 0; k < instance.n(); ++k) {
+    if (result.placement.is_assigned(k)) {
+      metrics.revenue += priced_demand(instance.requests.vms[k], prices);
+    }
+  }
+  metrics.net_profit = metrics.revenue - total_cost;
+  return metrics;
+}
+
+UtilizationSummary compute_utilization(const Instance& instance,
+                                       const Placement& placement) {
+  UtilizationSummary summary;
+  Matrix<double> loads;
+  compute_loads(instance, placement, loads);
+
+  std::vector<std::uint32_t> vms_on(instance.m(), 0);
+  for (std::size_t k = 0; k < instance.n(); ++k) {
+    if (placement.is_assigned(k)) {
+      ++vms_on[static_cast<std::size_t>(placement.server_of(k))];
+    }
+  }
+
+  std::vector<double> dc_sum(instance.g(), 0.0);
+  std::vector<std::size_t> dc_count(instance.g(), 0);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < instance.m(); ++j) {
+    if (vms_on[j] == 0) {
+      continue;
+    }
+    ++summary.used_servers;
+    double worst = 0.0;
+    for (std::size_t l = 0; l < instance.h(); ++l) {
+      worst = std::max(worst, loads(j, l));
+    }
+    sum += worst;
+    summary.peak_worst_load = std::max(summary.peak_worst_load, worst);
+    const std::uint32_t dc = instance.infra.datacenter_of(j);
+    dc_sum[dc] += worst;
+    ++dc_count[dc];
+  }
+  if (summary.used_servers > 0) {
+    summary.mean_worst_load =
+        sum / static_cast<double>(summary.used_servers);
+  }
+  summary.per_datacenter_mean_load.resize(instance.g(), 0.0);
+  for (std::size_t dc = 0; dc < instance.g(); ++dc) {
+    if (dc_count[dc] > 0) {
+      summary.per_datacenter_mean_load[dc] =
+          dc_sum[dc] / static_cast<double>(dc_count[dc]);
+    }
+  }
+  return summary;
+}
+
+}  // namespace iaas

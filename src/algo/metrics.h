@@ -1,0 +1,51 @@
+// Normalized allocation metrics — the paper's stated future work: "we
+// will need to create a normalized and standardized metric on a cost per
+// request basis to propose a better solution in an effort to compare all
+// algorithms in all scenarios."
+//
+// Implemented here: per-request and per-demanded-unit cost (comparable
+// across scenario sizes), a simple revenue model pricing accepted
+// resources, and platform utilization summaries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "algo/allocator.h"
+#include "model/instance.h"
+
+namespace iaas {
+
+// What the provider charges per accepted unit of demand per window.
+struct PriceModel {
+  double per_cpu_core = 2.0;
+  double per_ram_gb = 0.5;
+  double per_disk_gb = 0.02;
+};
+
+struct NormalizedMetrics {
+  double acceptance_rate = 0.0;           // accepted / N
+  double cost_per_accepted_request = 0.0; // total cost / accepted VMs
+  double cost_per_demanded_unit = 0.0;    // total cost / priced demand of
+                                          // ALL requests (scenario-size
+                                          // independent denominator)
+  double revenue = 0.0;                   // priced accepted demand
+  double net_profit = 0.0;                // revenue - total cost
+};
+
+NormalizedMetrics compute_metrics(const Instance& instance,
+                                  const AllocationResult& result,
+                                  const PriceModel& prices = {});
+
+struct UtilizationSummary {
+  std::size_t used_servers = 0;     // hosts with at least one VM
+  double mean_worst_load = 0.0;     // mean over used servers of the
+                                    // worst-attribute load (Eq. 25)
+  double peak_worst_load = 0.0;
+  std::vector<double> per_datacenter_mean_load;  // same, per DC
+};
+
+UtilizationSummary compute_utilization(const Instance& instance,
+                                       const Placement& placement);
+
+}  // namespace iaas

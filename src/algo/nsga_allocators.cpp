@@ -1,0 +1,119 @@
+#include "algo/nsga_allocators.h"
+
+#include "algo/ideal_point.h"
+#include "common/stopwatch.h"
+#include "ea/nsga2.h"
+#include "ea/nsga3.h"
+#include "ea/problem.h"
+
+namespace iaas {
+namespace {
+
+// Shared tail of every EA allocator: run the engine, pick the front
+// member nearest the ideal point, optionally polish with tabu search,
+// then audit + sanitize.
+template <typename Engine>
+AllocationResult run_engine(const Instance& instance, std::uint64_t seed,
+                            const std::string& algo_name,
+                            const EaAllocatorOptions& options,
+                            Engine& engine,
+                            const RepairFn& final_repair = nullptr) {
+  Stopwatch timer;
+  typename Engine::Result ea_result = engine.run(seed);
+
+  const std::size_t pick = select_ideal_point(ea_result.front);
+  std::vector<std::int32_t> genes = ea_result.front[pick].genes;
+  // The repaired hybrids guarantee a compliant answer: one last repair
+  // pass over the deployed solution (cheap no-op when already feasible).
+  if (final_repair) {
+    Rng repair_rng(seed ^ 0x66696e616cULL);
+    final_repair(genes, repair_rng);
+  }
+  Placement placement(std::move(genes));
+
+  if (options.post_tabu_search) {
+    TabuSearch search(instance, options.post_search, options.objectives);
+    Rng rng(seed ^ 0x7261626175u);  // independent polish stream
+    placement = search.improve(placement, rng).best;
+  }
+
+  AllocationResult result = Allocator::finalize(
+      instance, algo_name, std::move(placement), timer.elapsed_seconds(),
+      ea_result.evaluations, options.objectives);
+  return result;
+}
+
+NsgaConfig unmodified(NsgaConfig config) {
+  // "Unmodified" NSGA-II/III: constraints play no role in the search.
+  config.constraint_mode = ConstraintMode::kIgnore;
+  return config;
+}
+
+NsgaConfig with_repair(NsgaConfig config) {
+  config.constraint_mode = ConstraintMode::kRepair;
+  return config;
+}
+
+}  // namespace
+
+Nsga2Allocator::Nsga2Allocator(EaAllocatorOptions options)
+    : options_(std::move(options)) {}
+
+AllocationResult Nsga2Allocator::allocate(const Instance& instance,
+                                          std::uint64_t seed) {
+  AllocationProblem problem(instance, options_.objectives);
+  Nsga2 engine(problem, unmodified(options_.nsga));
+  return run_engine(instance, seed, name(), options_, engine);
+}
+
+Nsga3Allocator::Nsga3Allocator(EaAllocatorOptions options)
+    : options_(std::move(options)) {}
+
+AllocationResult Nsga3Allocator::allocate(const Instance& instance,
+                                          std::uint64_t seed) {
+  AllocationProblem problem(instance, options_.objectives);
+  Nsga3 engine(problem, unmodified(options_.nsga));
+  return run_engine(instance, seed, name(), options_, engine);
+}
+
+Nsga3CpAllocator::Nsga3CpAllocator(EaAllocatorOptions options)
+    : options_(std::move(options)) {}
+
+AllocationResult Nsga3CpAllocator::allocate(const Instance& instance,
+                                            std::uint64_t seed) {
+  AllocationProblem problem(instance, options_.objectives);
+  CpRepair repair(instance, options_.cp_repair);
+  const RepairFn repair_fn = [&repair](std::vector<std::int32_t>& genes,
+                                       Rng& rng) {
+    repair.repair(genes, rng);
+  };
+  Nsga3 engine(problem, with_repair(options_.nsga), repair_fn);
+  // The deployed solution gets one deep constraint solve (cheap: a
+  // single invocation) so the CP-hybrid's answer is compliant even when
+  // the in-loop budget could not fully repair at scale.
+  CpRepairOptions final_options = options_.cp_repair;
+  final_options.max_backtracks = options_.cp_repair.final_max_backtracks;
+  CpRepair final_repair(instance, final_options);
+  const RepairFn final_fn = [&final_repair](std::vector<std::int32_t>& genes,
+                                            Rng& rng) {
+    final_repair.repair(genes, rng);
+  };
+  return run_engine(instance, seed, name(), options_, engine, final_fn);
+}
+
+Nsga3TabuAllocator::Nsga3TabuAllocator(EaAllocatorOptions options)
+    : options_(std::move(options)) {}
+
+AllocationResult Nsga3TabuAllocator::allocate(const Instance& instance,
+                                              std::uint64_t seed) {
+  AllocationProblem problem(instance, options_.objectives);
+  TabuRepair repair(instance, options_.tabu_repair);
+  const RepairFn repair_fn = [&repair](std::vector<std::int32_t>& genes,
+                                       Rng& rng) {
+    repair.repair(genes, rng);
+  };
+  Nsga3 engine(problem, with_repair(options_.nsga), repair_fn);
+  return run_engine(instance, seed, name(), options_, engine, repair_fn);
+}
+
+}  // namespace iaas

@@ -1,0 +1,75 @@
+// The four evolutionary allocators of the paper's comparison (§IV):
+//   * Nsga2Allocator      — unmodified NSGA-II (constraints invisible);
+//   * Nsga3Allocator      — unmodified NSGA-III;
+//   * Nsga3CpAllocator    — NSGA-III + constraint-solver repair;
+//   * Nsga3TabuAllocator  — NSGA-III + tabu-search repair (the paper's
+//                           proposed algorithm).
+//
+// All run the Table III configuration by default, and pick the deployed
+// solution from the final front by Euclidean distance to the ideal point.
+#pragma once
+
+#include "algo/allocator.h"
+#include "algo/cp_repair.h"
+#include "ea/nsga_config.h"
+#include "tabu/repair.h"
+#include "tabu/tabu_search.h"
+
+namespace iaas {
+
+struct EaAllocatorOptions {
+  NsgaConfig nsga;                 // Table III defaults
+  ObjectiveOptions objectives;
+  TabuRepairOptions tabu_repair;   // hybrid variant
+  CpRepairOptions cp_repair;       // constraint-solver variant
+  // Extension: polish the selected solution with the standalone tabu
+  // search after the EA finishes (off by default — not in the paper).
+  bool post_tabu_search = false;
+  TabuSearchOptions post_search;
+};
+
+class Nsga2Allocator : public Allocator {
+ public:
+  explicit Nsga2Allocator(EaAllocatorOptions options = {});
+  [[nodiscard]] std::string name() const override { return "NSGA-II"; }
+  AllocationResult allocate(const Instance& instance,
+                            std::uint64_t seed) override;
+
+ private:
+  EaAllocatorOptions options_;
+};
+
+class Nsga3Allocator : public Allocator {
+ public:
+  explicit Nsga3Allocator(EaAllocatorOptions options = {});
+  [[nodiscard]] std::string name() const override { return "NSGA-III"; }
+  AllocationResult allocate(const Instance& instance,
+                            std::uint64_t seed) override;
+
+ private:
+  EaAllocatorOptions options_;
+};
+
+class Nsga3CpAllocator : public Allocator {
+ public:
+  explicit Nsga3CpAllocator(EaAllocatorOptions options = {});
+  [[nodiscard]] std::string name() const override { return "NSGA-III+CP"; }
+  AllocationResult allocate(const Instance& instance,
+                            std::uint64_t seed) override;
+
+ private:
+  EaAllocatorOptions options_;
+};
+
+class Nsga3TabuAllocator : public Allocator {
+ public:
+  explicit Nsga3TabuAllocator(EaAllocatorOptions options = {});
+  [[nodiscard]] std::string name() const override { return "NSGA-III+Tabu"; }
+  AllocationResult allocate(const Instance& instance,
+                            std::uint64_t seed) override;
+
+ private:
+  EaAllocatorOptions options_;
+};
+
+}  // namespace iaas

@@ -1,0 +1,43 @@
+#include "common/csv.h"
+
+#include "common/expect.h"
+
+namespace iaas {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path, std::ios::trunc), columns_(header.size()) {
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  IAAS_EXPECT(row.size() == columns_, "csv row width must match header");
+  write_row(row);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << escape(row[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) {
+    return field;
+  }
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      quoted += '"';
+    }
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace iaas

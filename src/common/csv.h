@@ -1,0 +1,28 @@
+// Minimal CSV writer so bench binaries can dump machine-readable series
+// alongside their stdout tables (one file per figure, plottable as-is).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace iaas {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path` and writes the header row immediately.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& row);
+
+  [[nodiscard]] bool ok() const { return out_.good(); }
+
+ private:
+  void write_row(const std::vector<std::string>& row);
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace iaas

@@ -1,0 +1,36 @@
+// Lightweight precondition / invariant checking.
+//
+// IAAS_EXPECT is active in every build type: the allocation library is a
+// research artefact where silently violated invariants invalidate results,
+// so the (cheap) checks stay on.  Use IAAS_DEBUG_EXPECT for checks that are
+// too hot for release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace iaas::detail {
+
+[[noreturn]] inline void expect_fail(const char* cond, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "iaas: expectation failed: %s\n  at %s:%d\n  %s\n",
+               cond, file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace iaas::detail
+
+#define IAAS_EXPECT(cond, msg)                                     \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::iaas::detail::expect_fail(#cond, __FILE__, __LINE__, msg); \
+    }                                                              \
+  } while (false)
+
+#ifndef NDEBUG
+#define IAAS_DEBUG_EXPECT(cond, msg) IAAS_EXPECT(cond, msg)
+#else
+#define IAAS_DEBUG_EXPECT(cond, msg) \
+  do {                               \
+  } while (false)
+#endif

@@ -1,0 +1,58 @@
+// Dense row-major matrix used for the paper's capacity / factor / load /
+// QoS matrices (Eqs. 1-3, 8).  Sized once, contiguous storage, bounds
+// checked in debug builds.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace iaas {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    IAAS_DEBUG_EXPECT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    IAAS_DEBUG_EXPECT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  // Contiguous view of one row; the natural unit when iterating a server's
+  // attribute vector.
+  [[nodiscard]] std::span<T> row(std::size_t r) {
+    IAAS_DEBUG_EXPECT(r < rows_, "matrix row out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t r) const {
+    IAAS_DEBUG_EXPECT(r < rows_, "matrix row out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  [[nodiscard]] std::span<const T> flat() const { return data_; }
+  [[nodiscard]] std::span<T> flat() { return data_; }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace iaas

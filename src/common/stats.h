@@ -1,0 +1,37 @@
+// Summary statistics for benchmark reporting (the paper reports averages
+// over 100 runs; we additionally report dispersion).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace iaas {
+
+// Single-pass mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // sample variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile with linear interpolation; q in [0,1]. Copies and sorts.
+double percentile(std::span<const double> values, double q);
+double mean(std::span<const double> values);
+double median(std::span<const double> values);
+double stddev(std::span<const double> values);
+
+}  // namespace iaas

@@ -1,0 +1,51 @@
+// Wall-clock timing for the execution-time experiments (Figs. 7-8) and a
+// Deadline type used by solvers that must answer within a time budget
+// (the paper requires responses "in a very short timeframe (<2mn)").
+#pragma once
+
+#include <chrono>
+
+namespace iaas {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// A point in time after which a solver must stop and return its incumbent.
+class Deadline {
+ public:
+  // Unlimited deadline.
+  Deadline() : limited_(false) {}
+
+  static Deadline after_seconds(double seconds) {
+    Deadline d;
+    d.limited_ = true;
+    d.end_ = clock::now() + std::chrono::duration_cast<clock::duration>(
+                                std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  [[nodiscard]] bool expired() const {
+    return limited_ && clock::now() >= end_;
+  }
+  [[nodiscard]] bool limited() const { return limited_; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  bool limited_;
+  clock::time_point end_{};
+};
+
+}  // namespace iaas

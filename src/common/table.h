@@ -1,0 +1,28 @@
+// Plain-text table rendering for benchmark output.  Every figure/table
+// bench prints its series through this so the rows the paper reports are
+// directly visible on stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iaas {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+
+  [[nodiscard]] std::string str() const;
+  void print() const;  // to stdout
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iaas

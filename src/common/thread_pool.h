@@ -1,0 +1,51 @@
+// Fixed-size worker pool with a blocking task queue and a parallel_for
+// helper.  Used to evaluate EA populations in parallel (objective
+// evaluation is independent per individual) and to run benchmark
+// repetitions concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace iaas {
+
+class ThreadPool {
+ public:
+  // threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  // Enqueue an arbitrary task; the future observes completion/exception.
+  std::future<void> submit(std::function<void()> task);
+
+  // Run fn(i) for i in [begin, end) across the pool, blocking until all
+  // iterations finish.  Iterations are chunked to limit queue traffic.
+  // Exceptions from fn propagate (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  // Process-wide shared pool for callers that do not manage their own.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace iaas

@@ -1,0 +1,53 @@
+#include "ea/archive.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+#include "ea/nondominated_sort.h"
+
+namespace iaas {
+
+ParetoArchive::ParetoArchive(std::size_t capacity) : capacity_(capacity) {
+  IAAS_EXPECT(capacity_ > 0, "archive capacity must be positive");
+}
+
+bool ParetoArchive::insert(const Individual& candidate) {
+  // Rejected if any incumbent dominates (or duplicates) it.
+  for (const Individual& member : members_) {
+    if (constrained_dominates(member, candidate) ||
+        (member.objectives == candidate.objectives &&
+         member.violations == candidate.violations)) {
+      return false;
+    }
+  }
+  // Admit; drop every incumbent the entrant dominates.
+  members_.erase(
+      std::remove_if(members_.begin(), members_.end(),
+                     [&](const Individual& member) {
+                       return constrained_dominates(candidate, member);
+                     }),
+      members_.end());
+  members_.push_back(candidate);
+  if (members_.size() > capacity_) {
+    evict_most_crowded();
+  }
+  return true;
+}
+
+void ParetoArchive::evict_most_crowded() {
+  // Crowding distance over the whole archive; evict the least spread-out
+  // member (boundary members carry infinite crowding and are safe).
+  std::vector<std::size_t> front(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    front[i] = i;
+  }
+  assign_crowding_distance(members_, front);
+  const auto victim = std::min_element(
+      members_.begin(), members_.end(),
+      [](const Individual& a, const Individual& b) {
+        return a.crowding < b.crowding;
+      });
+  members_.erase(victim);
+}
+
+}  // namespace iaas

@@ -1,0 +1,37 @@
+// Bounded external Pareto archive.
+//
+// The NSGA engines are generational: a non-dominated solution can be
+// lost when the next population displaces it.  The archive keeps the
+// best non-dominated set seen across the whole run (classic external
+// elitism); when full, the most crowded member is evicted so coverage is
+// preserved over density.  Feasibility-first: a feasible entrant evicts
+// dominated *and* infeasible incumbents.
+#pragma once
+
+#include <cstddef>
+
+#include "ea/individual.h"
+
+namespace iaas {
+
+class ParetoArchive {
+ public:
+  explicit ParetoArchive(std::size_t capacity = 200);
+
+  // Insert if no member constrained-dominates it; removes members the
+  // entrant dominates.  Returns true when the entrant was admitted.
+  bool insert(const Individual& candidate);
+
+  [[nodiscard]] const Population& members() const { return members_; }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+
+ private:
+  void evict_most_crowded();
+
+  std::size_t capacity_;
+  Population members_;
+};
+
+}  // namespace iaas

@@ -1,0 +1,77 @@
+#include "ea/hypervolume.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace iaas {
+namespace {
+
+// 2D dominated area (minimisation) bounded by (rx, ry).  Points must be
+// within the box.
+double area_2d(std::vector<std::pair<double, double>> points, double rx,
+               double ry) {
+  if (points.empty()) {
+    return 0.0;
+  }
+  // Sort by x ascending, y ascending; build the staircase of 2D
+  // non-dominated points (strictly decreasing y).
+  std::sort(points.begin(), points.end());
+  double area = 0.0;
+  double y_prev = ry;
+  for (const auto& [x, y] : points) {
+    if (y >= y_prev) {
+      continue;  // 2D-dominated by an earlier (smaller-x) point
+    }
+    area += (rx - x) * (y_prev - y);
+    y_prev = y;
+  }
+  return area;
+}
+
+}  // namespace
+
+double hypervolume(std::span<const ObjArray> points,
+                   const ObjArray& reference) {
+  // Keep points strictly inside the reference box.
+  std::vector<ObjArray> inside;
+  inside.reserve(points.size());
+  for (const ObjArray& p : points) {
+    if (p[0] < reference[0] && p[1] < reference[1] && p[2] < reference[2]) {
+      inside.push_back(p);
+    }
+  }
+  if (inside.empty()) {
+    return 0.0;
+  }
+
+  // Dimension sweep along objective 2 (z): between successive z levels,
+  // the dominated volume is (2D area of all points at or below the
+  // level) x (z gap).
+  std::sort(inside.begin(), inside.end(),
+            [](const ObjArray& a, const ObjArray& b) { return a[2] < b[2]; });
+
+  double volume = 0.0;
+  std::vector<std::pair<double, double>> active;
+  std::size_t i = 0;
+  while (i < inside.size()) {
+    const double z = inside[i][2];
+    while (i < inside.size() && inside[i][2] == z) {
+      active.emplace_back(inside[i][0], inside[i][1]);
+      ++i;
+    }
+    const double z_next = i < inside.size() ? inside[i][2] : reference[2];
+    volume += area_2d(active, reference[0], reference[1]) * (z_next - z);
+  }
+  return volume;
+}
+
+double hypervolume(const Population& front, const ObjArray& reference) {
+  std::vector<ObjArray> points;
+  points.reserve(front.size());
+  for (const Individual& ind : front) {
+    points.push_back(ind.objectives);
+  }
+  return hypervolume(points, reference);
+}
+
+}  // namespace iaas

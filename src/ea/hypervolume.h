@@ -1,0 +1,27 @@
+// Exact hypervolume indicator for the library's three-objective fronts
+// (minimisation).  Measures the volume of objective space dominated by a
+// front relative to a reference point — the standard scalar for
+// comparing Pareto-front quality between NSGA-II and NSGA-III runs
+// (used by the ablation benches; not part of the paper's evaluation).
+//
+// Algorithm: dimension sweep — sort the non-dominated points by the
+// third objective and accumulate 2D staircase areas slice by slice.
+// Exact and O(n^2 log n), plenty for population-sized fronts.
+#pragma once
+
+#include <span>
+
+#include "ea/reference_points.h"
+
+namespace iaas {
+
+// Volume dominated by `points` (minimisation) bounded by `reference`.
+// Points outside the reference box contribute only their clipped part;
+// dominated points contribute nothing extra.  Empty input -> 0.
+double hypervolume(std::span<const ObjArray> points,
+                   const ObjArray& reference);
+
+// Convenience: hypervolume of a population's objective vectors.
+double hypervolume(const Population& front, const ObjArray& reference);
+
+}  // namespace iaas

@@ -1,0 +1,30 @@
+#include "ea/individual.h"
+
+namespace iaas {
+
+bool dominates(const Individual& a, const Individual& b) {
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.objectives.size(); ++i) {
+    if (a.objectives[i] > b.objectives[i]) {
+      return false;
+    }
+    if (a.objectives[i] < b.objectives[i]) {
+      strictly_better = true;
+    }
+  }
+  return strictly_better;
+}
+
+bool constrained_dominates(const Individual& a, const Individual& b) {
+  const bool a_feasible = a.violations == 0;
+  const bool b_feasible = b.violations == 0;
+  if (a_feasible != b_feasible) {
+    return a_feasible;
+  }
+  if (!a_feasible) {
+    return a.violations < b.violations;
+  }
+  return dominates(a, b);
+}
+
+}  // namespace iaas

@@ -1,0 +1,25 @@
+// Fast non-dominated sorting (Deb et al. 2002, the NSGA-II paper).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ea/individual.h"
+
+namespace iaas {
+
+using DominanceFn =
+    std::function<bool(const Individual&, const Individual&)>;
+
+// Partitions `population` indices into fronts F_0, F_1, ...; sets each
+// individual's `rank` to its front number.  `dominates_fn` selects plain
+// or constrained dominance.
+std::vector<std::vector<std::size_t>> nondominated_sort(
+    std::span<Individual> population, const DominanceFn& dominates_fn);
+
+// Crowding distance (NSGA-II) over one front; writes Individual::crowding.
+void assign_crowding_distance(std::span<Individual> population,
+                              const std::vector<std::size_t>& front);
+
+}  // namespace iaas

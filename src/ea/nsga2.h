@@ -1,0 +1,21 @@
+// NSGA-II (Deb, Pratap, Agarwal, Meyarivan 2002 — the paper's [27]):
+// fast non-dominated sorting plus crowding-distance truncation, with the
+// crowded-comparison binary tournament.
+#pragma once
+
+#include "ea/nsga_base.h"
+
+namespace iaas {
+
+class Nsga2 : public NsgaBase {
+ public:
+  using NsgaBase::NsgaBase;
+
+ protected:
+  void environmental_selection(Population& merged, Population& next,
+                               Rng& rng) override;
+  const Individual& tournament(const Population& population,
+                               Rng& rng) override;
+};
+
+}  // namespace iaas

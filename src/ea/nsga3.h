@@ -1,0 +1,39 @@
+// NSGA-III (Deb & Jain 2014; the paper's [28] covers the unified
+// U-NSGA-III variant with the same niching core): non-dominated sorting
+// plus reference-point niching with adaptive normalisation.
+#pragma once
+
+#include <vector>
+
+#include "ea/nsga_base.h"
+#include "ea/reference_points.h"
+
+namespace iaas {
+
+class Nsga3 : public NsgaBase {
+ public:
+  Nsga3(const AllocationProblem& problem, NsgaConfig config,
+        RepairFn repair = nullptr);
+
+  [[nodiscard]] const std::vector<ObjArray>& reference_points() const {
+    return reference_points_;
+  }
+
+ protected:
+  void environmental_selection(Population& merged, Population& next,
+                               Rng& rng) override;
+
+  // U-NSGA-III niche tournament when config().niche_tournament is set;
+  // canonical rank-then-random otherwise.
+  const Individual& tournament(const Population& population,
+                               Rng& rng) override;
+
+ private:
+  // Stamp ref_index / ref_distance on every member of `next` so the
+  // niche tournament has current associations.
+  void associate_population(Population& next) const;
+
+  std::vector<ObjArray> reference_points_;
+};
+
+}  // namespace iaas

@@ -1,0 +1,214 @@
+#include "ea/nsga_base.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/expect.h"
+#include "ea/archive.h"
+
+namespace iaas {
+
+NsgaBase::NsgaBase(const AllocationProblem& problem, NsgaConfig config,
+                   RepairFn repair)
+    : problem_(&problem), config_(config), repair_(std::move(repair)) {
+  IAAS_EXPECT(config_.population_size >= 4,
+              "population too small for tournament + crossover");
+  if (config_.constraint_mode == ConstraintMode::kRepair) {
+    IAAS_EXPECT(static_cast<bool>(repair_),
+                "kRepair mode requires a repair function");
+  }
+  if (config_.threads > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(config_.threads);
+  }
+}
+
+ThreadPool* NsgaBase::evaluation_pool() {
+  if (config_.threads == 1) {
+    return nullptr;
+  }
+  if (owned_pool_ != nullptr) {
+    return owned_pool_.get();
+  }
+  return &ThreadPool::shared();
+}
+
+DominanceFn NsgaBase::dominance() const {
+  switch (config_.constraint_mode) {
+    case ConstraintMode::kIgnore:
+      return [](const Individual& a, const Individual& b) {
+        return dominates(a, b);
+      };
+    case ConstraintMode::kPenalty: {
+      const double w = config_.penalty_weight;
+      return [w](const Individual& a, const Individual& b) {
+        Individual pa = a;
+        Individual pb = b;
+        for (std::size_t i = 0; i < pa.objectives.size(); ++i) {
+          pa.objectives[i] += w * a.violations;
+          pb.objectives[i] += w * b.violations;
+        }
+        return dominates(pa, pb);
+      };
+    }
+    case ConstraintMode::kExclude:
+    case ConstraintMode::kRepair:
+      return [](const Individual& a, const Individual& b) {
+        return constrained_dominates(a, b);
+      };
+  }
+  return [](const Individual& a, const Individual& b) {
+    return dominates(a, b);
+  };
+}
+
+void NsgaBase::apply_exclusion(Population& merged) const {
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Individual& a, const Individual& b) {
+                     return a.violations < b.violations;
+                   });
+  const auto feasible_end = std::find_if(
+      merged.begin(), merged.end(),
+      [](const Individual& ind) { return ind.violations > 0; });
+  const auto feasible =
+      static_cast<std::size_t>(feasible_end - merged.begin());
+  const std::size_t keep = std::max(feasible, config_.population_size);
+  if (keep < merged.size()) {
+    merged.resize(keep);
+  }
+}
+
+const Individual& NsgaBase::tournament(const Population& population,
+                                       Rng& rng) {
+  const Individual& a = population[rng.uniform_index(population.size())];
+  const Individual& b = population[rng.uniform_index(population.size())];
+  if (a.rank != b.rank) {
+    return a.rank < b.rank ? a : b;
+  }
+  return rng.bernoulli(0.5) ? a : b;
+}
+
+void NsgaBase::maybe_repair(std::vector<std::int32_t>& genes, Rng& rng,
+                            std::size_t& counter) {
+  if (config_.constraint_mode != ConstraintMode::kRepair) {
+    return;
+  }
+  repair_(genes, rng);
+  ++counter;
+}
+
+NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
+  Rng rng(seed);
+  ThreadPool* pool = evaluation_pool();
+  Result result;
+
+  const SbxParams sbx{config_.sbx_rate, config_.sbx_distribution_index, 0.5};
+  const PmParams pm{config_.pm_rate, config_.pm_distribution_index};
+  const std::int32_t max_gene = problem_->max_gene();
+
+  // Initial population; in repair mode initial individuals are repaired
+  // too so the search starts from the feasible region.
+  Population population(config_.population_size);
+  for (Individual& ind : population) {
+    ind.genes.resize(problem_->gene_count());
+    randomize_genes(ind.genes, max_gene, rng);
+    if (config_.repair_offspring) {
+      maybe_repair(ind.genes, rng, result.repair_invocations);
+    }
+  }
+  if (config_.warm_start) {
+    // Seed the incumbent so the migration objective can prefer "stay".
+    std::vector<std::int32_t> warm = problem_->warm_start_genes(rng);
+    if (!warm.empty()) {
+      population.front().genes = std::move(warm);
+      if (config_.repair_offspring) {
+        maybe_repair(population.front().genes, rng,
+                     result.repair_invocations);
+      }
+    }
+  }
+  result.evaluations += problem_->evaluate_population(population, pool);
+
+  std::optional<ParetoArchive> archive;
+  if (config_.archive_capacity > 0) {
+    archive.emplace(config_.archive_capacity);
+    for (const Individual& ind : population) {
+      archive->insert(ind);
+    }
+  }
+
+  // Rank the initial population so the first tournament has information.
+  {
+    Population scratch = population;
+    Population ranked;
+    environmental_selection(scratch, ranked, rng);
+    population = std::move(ranked);
+  }
+
+  while (result.evaluations < config_.max_evaluations) {
+    Population offspring;
+    offspring.reserve(config_.population_size);
+    while (offspring.size() < config_.population_size) {
+      const Individual& parent_a = tournament(population, rng);
+      const Individual& parent_b = tournament(population, rng);
+      std::vector<std::int32_t> pa = parent_a.genes;
+      std::vector<std::int32_t> pb = parent_b.genes;
+      // Paper Fig. 4: parents that "do not respect users constraints"
+      // pass through the repair before they are allowed to reproduce.
+      if (config_.repair_parents) {
+        if (parent_a.violations > 0) {
+          maybe_repair(pa, rng, result.repair_invocations);
+        }
+        if (parent_b.violations > 0) {
+          maybe_repair(pb, rng, result.repair_invocations);
+        }
+      }
+      Individual child_a;
+      Individual child_b;
+      sbx_crossover(pa, pb, child_a.genes, child_b.genes, max_gene, sbx, rng);
+      polynomial_mutation(child_a.genes, max_gene, pm, rng);
+      polynomial_mutation(child_b.genes, max_gene, pm, rng);
+      if (config_.repair_offspring) {
+        maybe_repair(child_a.genes, rng, result.repair_invocations);
+        maybe_repair(child_b.genes, rng, result.repair_invocations);
+      }
+      offspring.push_back(std::move(child_a));
+      if (offspring.size() < config_.population_size) {
+        offspring.push_back(std::move(child_b));
+      }
+    }
+    result.evaluations += problem_->evaluate_population(offspring, pool);
+    if (archive) {
+      for (const Individual& ind : offspring) {
+        archive->insert(ind);
+      }
+    }
+
+    Population merged;
+    merged.reserve(population.size() + offspring.size());
+    std::move(population.begin(), population.end(),
+              std::back_inserter(merged));
+    std::move(offspring.begin(), offspring.end(),
+              std::back_inserter(merged));
+
+    Population next;
+    environmental_selection(merged, next, rng);
+    population = std::move(next);
+    ++result.generations;
+  }
+
+  // Final front: rank-0 members under the engine's dominance.
+  const DominanceFn dom = dominance();
+  Population final_copy = population;
+  const auto fronts = nondominated_sort(final_copy, dom);
+  IAAS_EXPECT(!fronts.empty(), "population cannot be empty");
+  for (std::size_t idx : fronts[0]) {
+    result.front.push_back(final_copy[idx]);
+  }
+  result.population = std::move(population);
+  if (archive) {
+    result.archive = archive->members();
+  }
+  return result;
+}
+
+}  // namespace iaas

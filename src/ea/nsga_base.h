@@ -1,0 +1,85 @@
+// Shared generational engine for NSGA-II and NSGA-III.
+//
+// Implements the paper's modified-NSGA pipeline (Figs. 3-4): binary
+// tournament mating selection, optional repair of invalid parents before
+// variation, SBX + PM variation, optional repair of offspring, parallel
+// objective evaluation, and (mu + lambda) environmental selection supplied
+// by the concrete algorithm.
+//
+// The ConstraintMode selects how strict constraints are honoured — the
+// four methods the paper enumerates (ignore/exclude/penalty/repair).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "ea/individual.h"
+#include "ea/nondominated_sort.h"
+#include "ea/nsga_config.h"
+#include "ea/operators.h"
+#include "ea/problem.h"
+
+namespace iaas {
+
+// Makes an individual's genes constraint-compliant (or closer to it);
+// e.g. the tabu-search repair of paper Figs. 5-6.
+using RepairFn = std::function<void(std::vector<std::int32_t>&, Rng&)>;
+
+class NsgaBase {
+ public:
+  struct Result {
+    Population population;          // final population
+    std::vector<Individual> front;  // rank-0 members under the engine's
+                                    // dominance relation
+    Population archive;             // external Pareto archive (empty when
+                                    // config.archive_capacity == 0)
+    std::size_t evaluations = 0;
+    std::size_t repair_invocations = 0;
+    std::size_t generations = 0;
+  };
+
+  NsgaBase(const AllocationProblem& problem, NsgaConfig config,
+           RepairFn repair = nullptr);
+  virtual ~NsgaBase() = default;
+
+  NsgaBase(const NsgaBase&) = delete;
+  NsgaBase& operator=(const NsgaBase&) = delete;
+
+  Result run(std::uint64_t seed);
+
+  [[nodiscard]] const NsgaConfig& config() const { return config_; }
+
+ protected:
+  // Fill `next` (empty on entry) with population_size survivors of
+  // `merged`; must set rank (and algorithm-specific bookkeeping).
+  virtual void environmental_selection(Population& merged, Population& next,
+                                       Rng& rng) = 0;
+
+  // Binary tournament for mating. Default: lower rank wins, random tie.
+  virtual const Individual& tournament(const Population& population,
+                                       Rng& rng);
+
+  // Dominance relation implied by the constraint mode.
+  [[nodiscard]] DominanceFn dominance() const;
+
+  // kExclude (paper method 1): drop infeasible individuals; if fewer
+  // feasible than population_size remain, keep the least-violating.
+  void apply_exclusion(Population& merged) const;
+
+  const AllocationProblem& problem() const { return *problem_; }
+
+ private:
+  void maybe_repair(std::vector<std::int32_t>& genes, Rng& rng,
+                    std::size_t& counter);
+  ThreadPool* evaluation_pool();
+
+  const AllocationProblem* problem_;
+  NsgaConfig config_;
+  RepairFn repair_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+};
+
+}  // namespace iaas

@@ -1,0 +1,64 @@
+// NSGA-II / NSGA-III settings.  Defaults reproduce the paper's Table III:
+//   populationSize 100, 10000 evaluations, SBX rate .70 / DI 15,
+//   PM rate .20 / DI 15.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace iaas {
+
+// The paper's four ways of making an EA respect strict constraints
+// (§III): it adopted repair (method 2) and found exclusion (method 1)
+// discards too much and penalties explode response times — all are
+// implemented so the ablation benches can reproduce that comparison.
+enum class ConstraintMode : std::uint8_t {
+  kIgnore,   // "unmodified" NSGA-II/III: constraints invisible to search
+  kExclude,  // method 1: infeasible individuals dropped at selection
+  kPenalty,  // rejected attempt: violation penalty added to objectives
+  kRepair,   // method 2 (adopted): invalid individuals repaired
+};
+
+struct NsgaConfig {
+  std::size_t population_size = 100;     // Table III
+  std::size_t max_evaluations = 10000;   // Table III
+  double sbx_rate = 0.70;                // Table III
+  double sbx_distribution_index = 15.0;  // Table III
+  double pm_rate = 0.20;                 // Table III (per-gene probability)
+  double pm_distribution_index = 15.0;   // Table III
+
+  ConstraintMode constraint_mode = ConstraintMode::kIgnore;
+  double penalty_weight = 1000.0;  // kPenalty: added per violation per axis
+
+  // Repair placement within the generation (paper Fig. 4 repairs the two
+  // selected parents before variation; repairing offspring too keeps the
+  // final population feasible).
+  bool repair_parents = true;
+  bool repair_offspring = true;
+
+  // NSGA-III reference-point density: Das-Dennis divisions per objective
+  // (12 divisions on 3 objectives -> C(14,2) = 91 points < pop 100).
+  std::size_t reference_divisions = 12;
+
+  // External Pareto archive capacity; 0 disables it.  When enabled, the
+  // engine's Result carries every non-dominated solution seen across the
+  // run, not just the final generation's front.
+  std::size_t archive_capacity = 0;
+
+  // Seed the initial population with the previous window's placement
+  // (rejected VMs randomised).  Without it the search almost never
+  // rediscovers the incumbent and the migration objective cannot hold
+  // running work in place.
+  bool warm_start = true;
+
+  // U-NSGA-III niche tournament (the paper's [28]): when two tournament
+  // candidates share rank *and* reference niche, the one closer to its
+  // reference line wins; canonical NSGA-III picks randomly.
+  bool niche_tournament = false;
+
+  // Parallel objective evaluation: 0 = use the process-shared pool,
+  // 1 = strictly serial, otherwise a dedicated pool of that many threads.
+  std::size_t threads = 1;
+};
+
+}  // namespace iaas

@@ -1,0 +1,97 @@
+#include "ea/operators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace iaas {
+namespace {
+
+std::int32_t round_clamp(double value, std::int32_t max_gene) {
+  const auto rounded = static_cast<std::int32_t>(std::lround(value));
+  return std::clamp(rounded, 0, max_gene);
+}
+
+// Deb's SBX spread factor for a uniform draw u.
+double sbx_beta(double u, double eta) {
+  if (u <= 0.5) {
+    return std::pow(2.0 * u, 1.0 / (eta + 1.0));
+  }
+  return std::pow(1.0 / (2.0 * (1.0 - u)), 1.0 / (eta + 1.0));
+}
+
+}  // namespace
+
+void sbx_crossover(const std::vector<std::int32_t>& parent_a,
+                   const std::vector<std::int32_t>& parent_b,
+                   std::vector<std::int32_t>& child_a,
+                   std::vector<std::int32_t>& child_b, std::int32_t max_gene,
+                   const SbxParams& params, Rng& rng) {
+  IAAS_EXPECT(parent_a.size() == parent_b.size(),
+              "SBX parents must have equal length");
+  child_a = parent_a;
+  child_b = parent_b;
+  if (!rng.bernoulli(params.rate)) {
+    return;  // no crossover this pair
+  }
+  for (std::size_t g = 0; g < parent_a.size(); ++g) {
+    if (!rng.bernoulli(params.per_gene_swap)) {
+      continue;
+    }
+    const double x1 = static_cast<double>(parent_a[g]);
+    const double x2 = static_cast<double>(parent_b[g]);
+    const double beta = sbx_beta(rng.next_double(),
+                                 params.distribution_index);
+    const double c1 = 0.5 * ((1.0 + beta) * x1 + (1.0 - beta) * x2);
+    const double c2 = 0.5 * ((1.0 - beta) * x1 + (1.0 + beta) * x2);
+    child_a[g] = round_clamp(c1, max_gene);
+    child_b[g] = round_clamp(c2, max_gene);
+  }
+}
+
+void polynomial_mutation(std::vector<std::int32_t>& genes,
+                         std::int32_t max_gene, const PmParams& params,
+                         Rng& rng) {
+  if (max_gene == 0) {
+    return;  // single server: nothing to mutate to
+  }
+  const double range = static_cast<double>(max_gene);
+  const double eta = params.distribution_index;
+  for (std::int32_t& gene : genes) {
+    if (!rng.bernoulli(params.rate)) {
+      continue;
+    }
+    const double x = static_cast<double>(gene);
+    const double delta1 = x / range;
+    const double delta2 = (range - x) / range;
+    const double u = rng.next_double();
+    double deltaq;
+    if (u <= 0.5) {
+      const double val = 2.0 * u + (1.0 - 2.0 * u) *
+                                       std::pow(1.0 - delta1, eta + 1.0);
+      deltaq = std::pow(val, 1.0 / (eta + 1.0)) - 1.0;
+    } else {
+      const double val = 2.0 * (1.0 - u) +
+                         2.0 * (u - 0.5) * std::pow(1.0 - delta2, eta + 1.0);
+      deltaq = 1.0 - std::pow(val, 1.0 / (eta + 1.0));
+    }
+    double mutated = x + deltaq * range;
+    // Rounding can leave the gene unchanged on small perturbations; nudge
+    // by one step in the mutation direction so PM always explores.
+    std::int32_t result = round_clamp(mutated, max_gene);
+    if (result == gene) {
+      result = round_clamp(x + (deltaq >= 0.0 ? 1.0 : -1.0), max_gene);
+    }
+    gene = result;
+  }
+}
+
+void randomize_genes(std::vector<std::int32_t>& genes, std::int32_t max_gene,
+                     Rng& rng) {
+  for (std::int32_t& gene : genes) {
+    gene = static_cast<std::int32_t>(rng.uniform_int(0, max_gene));
+  }
+}
+
+}  // namespace iaas

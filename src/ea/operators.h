@@ -1,0 +1,42 @@
+// Variation operators.  The paper uses the SBX and PM standard operators
+// on its integer server-ID genes; following common practice for integer
+// decision variables, the real-coded operator runs on the continuous
+// relaxation [0, max_gene] and the result is rounded and clamped.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace iaas {
+
+struct SbxParams {
+  double rate = 0.70;                // per-pair crossover probability
+  double distribution_index = 15.0;  // eta_c
+  double per_gene_swap = 0.5;        // standard per-variable participation
+};
+
+struct PmParams {
+  double rate = 0.20;                // per-gene mutation probability
+  double distribution_index = 15.0;  // eta_m
+};
+
+// Simulated binary crossover on integer genes; children overwrite the
+// provided buffers.  Parents may alias children.
+void sbx_crossover(const std::vector<std::int32_t>& parent_a,
+                   const std::vector<std::int32_t>& parent_b,
+                   std::vector<std::int32_t>& child_a,
+                   std::vector<std::int32_t>& child_b, std::int32_t max_gene,
+                   const SbxParams& params, Rng& rng);
+
+// Polynomial mutation in place.
+void polynomial_mutation(std::vector<std::int32_t>& genes,
+                         std::int32_t max_gene, const PmParams& params,
+                         Rng& rng);
+
+// Uniform random genes in [0, max_gene].
+void randomize_genes(std::vector<std::int32_t>& genes, std::int32_t max_gene,
+                     Rng& rng);
+
+}  // namespace iaas

@@ -1,0 +1,82 @@
+#include "ea/problem.h"
+
+#include "common/expect.h"
+#include "model/placement.h"
+
+namespace iaas {
+
+AllocationProblem::AllocationProblem(const Instance& instance,
+                                     ObjectiveOptions options)
+    : instance_(&instance), options_(options) {}
+
+std::unique_ptr<Evaluator> AllocationProblem::acquire_evaluator() const {
+  {
+    std::lock_guard lock(pool_mutex_);
+    if (!evaluator_pool_.empty()) {
+      auto evaluator = std::move(evaluator_pool_.back());
+      evaluator_pool_.pop_back();
+      return evaluator;
+    }
+  }
+  return std::make_unique<Evaluator>(*instance_, options_);
+}
+
+void AllocationProblem::release_evaluator(
+    std::unique_ptr<Evaluator> evaluator) const {
+  std::lock_guard lock(pool_mutex_);
+  evaluator_pool_.push_back(std::move(evaluator));
+}
+
+std::vector<std::int32_t> AllocationProblem::warm_start_genes(
+    Rng& rng) const {
+  const Placement& previous = instance_->previous;
+  if (previous.assigned_count() == 0) {
+    return {};
+  }
+  std::vector<std::int32_t> genes(gene_count());
+  for (std::size_t k = 0; k < gene_count(); ++k) {
+    genes[k] = previous.is_assigned(k)
+                   ? previous.server_of(k)
+                   : static_cast<std::int32_t>(rng.uniform_int(
+                         0, max_gene()));
+  }
+  return genes;
+}
+
+void AllocationProblem::evaluate(Individual& individual) const {
+  IAAS_EXPECT(individual.genes.size() == gene_count(),
+              "individual gene count mismatch");
+  auto evaluator = acquire_evaluator();
+  // The Placement view copies the genes; cheap relative to evaluation.
+  const Placement placement(individual.genes);
+  const Evaluation eval = evaluator->evaluate(placement);
+  individual.objectives = eval.objectives.as_array();
+  individual.violations = eval.violations.total();
+  individual.evaluated = true;
+  release_evaluator(std::move(evaluator));
+}
+
+std::size_t AllocationProblem::evaluate_population(
+    std::span<Individual> population, ThreadPool* pool) const {
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (!population[i].evaluated) {
+      pending.push_back(i);
+    }
+  }
+  if (pending.empty()) {
+    return 0;
+  }
+  if (pool == nullptr || pending.size() < 2) {
+    for (std::size_t i : pending) {
+      evaluate(population[i]);
+    }
+  } else {
+    pool->parallel_for(0, pending.size(), [&](std::size_t idx) {
+      evaluate(population[pending[idx]]);
+    });
+  }
+  return pending.size();
+}
+
+}  // namespace iaas

@@ -1,0 +1,55 @@
+// EA-facing adapter of the allocation model: genes <-> placements,
+// thread-safe objective evaluation with reusable Evaluator scratch.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "ea/individual.h"
+#include "model/instance.h"
+#include "model/objectives.h"
+
+namespace iaas {
+
+class AllocationProblem {
+ public:
+  explicit AllocationProblem(const Instance& instance,
+                             ObjectiveOptions options = {});
+
+  [[nodiscard]] std::size_t gene_count() const { return instance_->n(); }
+  [[nodiscard]] std::int32_t max_gene() const {
+    return static_cast<std::int32_t>(instance_->m()) - 1;
+  }
+  [[nodiscard]] const Instance& instance() const { return *instance_; }
+
+  // Warm-start genes: the previous window's placement with the
+  // still-unplaced VMs randomised — seeding the population with the
+  // incumbent is what lets the migration objective (Eq. 26) hold work in
+  // place.  Empty when no VM was previously placed.
+  [[nodiscard]] std::vector<std::int32_t> warm_start_genes(Rng& rng) const;
+
+  // Evaluate one individual (objectives + violation count).  Thread-safe:
+  // each call borrows an Evaluator from an internal pool.
+  void evaluate(Individual& individual) const;
+
+  // Evaluate all not-yet-evaluated individuals; parallel when pool given.
+  // Returns the number of evaluations actually performed.
+  std::size_t evaluate_population(std::span<Individual> population,
+                                  ThreadPool* pool) const;
+
+ private:
+  class EvaluatorLease;
+  std::unique_ptr<Evaluator> acquire_evaluator() const;
+  void release_evaluator(std::unique_ptr<Evaluator> evaluator) const;
+
+  const Instance* instance_;
+  ObjectiveOptions options_;
+  mutable std::mutex pool_mutex_;
+  mutable std::vector<std::unique_ptr<Evaluator>> evaluator_pool_;
+};
+
+}  // namespace iaas

@@ -1,0 +1,483 @@
+#include "io/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace iaas {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("json: " + what);
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) {
+    return *b;
+  }
+  fail("not a boolean");
+}
+
+double Json::as_number() const {
+  if (const double* d = std::get_if<double>(&value_)) {
+    return *d;
+  }
+  fail("not a number");
+}
+
+const std::string& Json::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) {
+    return *s;
+  }
+  fail("not a string");
+}
+
+void Json::push_back(Json element) {
+  if (Array* a = std::get_if<Array>(&value_)) {
+    a->push_back(std::move(element));
+    return;
+  }
+  fail("push_back on non-array");
+}
+
+std::size_t Json::size() const {
+  if (const Array* a = std::get_if<Array>(&value_)) {
+    return a->size();
+  }
+  if (const Object* o = std::get_if<Object>(&value_)) {
+    return o->size();
+  }
+  fail("size of non-container");
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (const Array* a = std::get_if<Array>(&value_)) {
+    if (index >= a->size()) {
+      fail("array index out of range");
+    }
+    return (*a)[index];
+  }
+  fail("indexing non-array");
+}
+
+Json& Json::operator[](const std::string& key) {
+  Object* o = std::get_if<Object>(&value_);
+  if (o == nullptr) {
+    fail("operator[] on non-object");
+  }
+  for (auto& [k, v] : *o) {
+    if (k == key) {
+      return v;
+    }
+  }
+  o->emplace_back(key, Json());
+  return o->back().second;
+}
+
+bool Json::contains(const std::string& key) const {
+  const Object* o = std::get_if<Object>(&value_);
+  if (o == nullptr) {
+    return false;
+  }
+  for (const auto& [k, v] : *o) {
+    if (k == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (const Object* o = std::get_if<Object>(&value_)) {
+    for (const auto& [k, v] : *o) {
+      if (k == key) {
+        return v;
+      }
+    }
+    fail("missing key '" + key + "'");
+  }
+  fail("keyed access on non-object");
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::items() const {
+  if (const Object* o = std::get_if<Object>(&value_)) {
+    return *o;
+  }
+  fail("items() on non-object");
+}
+
+bool operator==(const Json& a, const Json& b) { return a.value_ == b.value_; }
+
+// ---------------------------------------------------------------- dump --
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    fail("non-finite number cannot be serialised");
+  }
+  // Round integral values exactly; otherwise shortest round-trip-ish.
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+  }
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) {
+    return;
+  }
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type()) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += std::get<bool>(value_) ? "true" : "false";
+      return;
+    case Type::kNumber:
+      dump_number(std::get<double>(value_), out);
+      return;
+    case Type::kString:
+      dump_string(std::get<std::string>(value_), out);
+      return;
+    case Type::kArray: {
+      const Array& a = std::get<Array>(value_);
+      if (a.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        newline_indent(out, indent, depth + 1);
+        a[i].dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      const Object& o = std::get<Object>(value_);
+      if (o.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        newline_indent(out, indent, depth + 1);
+        dump_string(o[i].first, out);
+        out += indent < 0 ? ":" : ": ";
+        o[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// --------------------------------------------------------------- parse --
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      error("trailing characters after document");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void error(const std::string& what) const {
+    fail(what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) {
+      error("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json::string(parse_string());
+      case 't':
+        if (consume_literal("true")) {
+          return Json::boolean(true);
+        }
+        error("invalid literal");
+      case 'f':
+        if (consume_literal("false")) {
+          return Json::boolean(false);
+        }
+        error("invalid literal");
+      case 'n':
+        if (consume_literal("null")) {
+          return Json::null();
+        }
+        error("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      if (peek() != '"') {
+        error("expected object key");
+      }
+      std::string key = parse_string();
+      expect(':');
+      obj[key] = parse_value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') {
+        return obj;
+      }
+      if (c != ',') {
+        error("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') {
+        return arr;
+      }
+      if (c != ',') {
+        error("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        error("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              error("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode (BMP only; surrogate pairs unsupported — the
+          // library never emits them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          error("unknown escape");
+      }
+    }
+    error("unterminated string");
+  }
+
+  Json parse_number() {
+    skip_whitespace();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      error("expected a value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      error("malformed number");
+    }
+    return Json::number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace iaas

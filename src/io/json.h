@@ -1,0 +1,93 @@
+// Minimal self-contained JSON value, parser and writer — the library's
+// interchange format for scenario files and experiment results (no
+// external dependency; the benches stay hermetic).
+//
+// Supported: null, booleans, finite doubles, strings (with standard
+// escapes incl. \uXXXX), arrays, objects (insertion-ordered).  Parse
+// errors throw std::runtime_error with a byte offset.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace iaas {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : value_(nullptr) {}
+
+  static Json null() { return Json(); }
+  static Json boolean(bool b) {
+    Json j;
+    j.value_ = b;
+    return j;
+  }
+  static Json number(double d) {
+    Json j;
+    j.value_ = d;
+    return j;
+  }
+  static Json string(std::string s) {
+    Json j;
+    j.value_ = std::move(s);
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.value_ = Array{};
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.value_ = Object{};
+    return j;
+  }
+
+  [[nodiscard]] Type type() const {
+    return static_cast<Type>(value_.index());
+  }
+  [[nodiscard]] bool is_null() const { return type() == Type::kNull; }
+
+  // Typed accessors; wrong-type access throws std::runtime_error.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  // --- array interface ---
+  void push_back(Json element);
+  [[nodiscard]] std::size_t size() const;  // array or object
+  [[nodiscard]] const Json& at(std::size_t index) const;
+
+  // --- object interface ---
+  Json& operator[](const std::string& key);  // insert-or-access
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& items()
+      const;
+
+  // Serialise. indent < 0 -> compact single line; otherwise pretty-print
+  // with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  // Parse a complete JSON document (trailing garbage is an error).
+  static Json parse(std::string_view text);
+
+  friend bool operator==(const Json&, const Json&);
+
+ private:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+}  // namespace iaas

@@ -1,0 +1,155 @@
+#include "io/request_dsl.h"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/serialize.h"
+#include "model/attributes.h"
+
+namespace iaas {
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("request_dsl: line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') {
+      break;  // comment until end of line
+    }
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+double parse_number(const std::string& text, std::size_t line_no) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    fail(line_no, "malformed number '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+ParsedRequests parse_request_dsl(std::string_view text) {
+  ParsedRequests out;
+  std::map<std::string, std::uint32_t> name_to_index;
+
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    if (tokens[0] == "vm") {
+      if (tokens.size() < 2) {
+        fail(line_no, "vm needs a name");
+      }
+      const std::string& name = tokens[1];
+      if (name_to_index.contains(name)) {
+        fail(line_no, "duplicate vm name '" + name + "'");
+      }
+      VmRequest vm;
+      vm.demand.assign(kDefaultAttributeCount, -1.0);
+      for (std::size_t t = 2; t < tokens.size(); ++t) {
+        const std::size_t eq = tokens[t].find('=');
+        if (eq == std::string::npos) {
+          fail(line_no, "expected key=value, got '" + tokens[t] + "'");
+        }
+        const std::string key = tokens[t].substr(0, eq);
+        const double value =
+            parse_number(tokens[t].substr(eq + 1), line_no);
+        if (key == "cpu") {
+          vm.demand[kCpu] = value;
+        } else if (key == "ram") {
+          vm.demand[kRam] = value;
+        } else if (key == "disk") {
+          vm.demand[kDisk] = value;
+        } else if (key == "qos") {
+          vm.qos_guarantee = value;
+        } else if (key == "downtime_cost") {
+          vm.downtime_cost = value;
+        } else if (key == "migration_cost") {
+          vm.migration_cost = value;
+        } else {
+          fail(line_no, "unknown attribute '" + key + "'");
+        }
+      }
+      for (std::size_t l = 0; l < kDefaultAttributeCount; ++l) {
+        if (vm.demand[l] < 0.0) {
+          fail(line_no, "vm '" + name + "' is missing " + attribute_name(l));
+        }
+      }
+      if (!vm.valid(kDefaultAttributeCount)) {
+        fail(line_no, "vm '" + name + "' has out-of-range values");
+      }
+      name_to_index[name] =
+          static_cast<std::uint32_t>(out.requests.vms.size());
+      out.requests.vms.push_back(std::move(vm));
+      out.vm_names.push_back(name);
+    } else if (tokens[0] == "group") {
+      if (tokens.size() < 4) {
+        fail(line_no, "group needs a kind and at least two vm names");
+      }
+      PlacementConstraint constraint;
+      try {
+        constraint.kind = relation_kind_from_string(tokens[1]);
+      } catch (const std::runtime_error&) {
+        fail(line_no, "unknown group kind '" + tokens[1] + "'");
+      }
+      for (std::size_t t = 2; t < tokens.size(); ++t) {
+        const auto it = name_to_index.find(tokens[t]);
+        if (it == name_to_index.end()) {
+          fail(line_no, "unknown vm '" + tokens[t] +
+                            "' (vms must be declared before groups)");
+        }
+        constraint.vms.push_back(it->second);
+      }
+      out.requests.constraints.push_back(std::move(constraint));
+    } else {
+      fail(line_no, "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  return out;
+}
+
+std::string render_request_dsl(const RequestSet& requests,
+                               const std::vector<std::string>& names) {
+  auto name_of = [&](std::size_t k) {
+    return k < names.size() ? names[k] : "vm" + std::to_string(k);
+  };
+  std::ostringstream out;
+  out.precision(17);
+  for (std::size_t k = 0; k < requests.vms.size(); ++k) {
+    const VmRequest& vm = requests.vms[k];
+    out << "vm " << name_of(k);
+    out << " cpu=" << vm.demand[kCpu] << " ram=" << vm.demand[kRam]
+        << " disk=" << vm.demand[kDisk];
+    out << " qos=" << vm.qos_guarantee
+        << " downtime_cost=" << vm.downtime_cost
+        << " migration_cost=" << vm.migration_cost;
+    out << '\n';
+  }
+  for (const PlacementConstraint& c : requests.constraints) {
+    out << "group " << relation_kind_to_string(c.kind);
+    for (std::uint32_t k : c.vms) {
+      out << ' ' << name_of(k);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace iaas

@@ -1,0 +1,46 @@
+// A small declarative language for consumer requests — the concrete
+// syntax for the paper's "user requests are translated into a virtual
+// resource topology connecting virtual machines in compliance with their
+// affinity/anti-affinity relationships" (§III).
+//
+// Grammar (line oriented; '#' starts a comment):
+//
+//   vm <name> cpu=<num> ram=<num> disk=<num>
+//             [qos=<0..1>] [downtime_cost=<num>] [migration_cost=<num>]
+//   group <kind> <name> <name> [<name>...]
+//
+// where <kind> is one of: same-server, same-datacenter,
+// different-servers, different-datacenters.
+//
+// Example:
+//   # three-tier web service
+//   vm web1 cpu=2 ram=4 disk=40 qos=0.9
+//   vm web2 cpu=2 ram=4 disk=40 qos=0.9
+//   vm db   cpu=8 ram=32 disk=320 qos=0.95 downtime_cost=50
+//   group different-servers web1 web2
+//   group same-datacenter web1 db
+//
+// Parse errors throw std::runtime_error naming the offending line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/request_set.h"
+
+namespace iaas {
+
+struct ParsedRequests {
+  RequestSet requests;
+  std::vector<std::string> vm_names;  // index-aligned with requests.vms
+};
+
+ParsedRequests parse_request_dsl(std::string_view text);
+
+// Inverse: render a request set back to DSL text (names optional —
+// "vm0", "vm1", ... when absent).  parse(render(x)) == x.
+std::string render_request_dsl(const RequestSet& requests,
+                               const std::vector<std::string>& names = {});
+
+}  // namespace iaas

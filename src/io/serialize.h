@@ -1,0 +1,34 @@
+// JSON (de)serialisation of the allocation model: scenario files make
+// experiments shareable and replayable, result files feed external
+// analysis.  Round-trip guarantee: instance_from_json(instance_to_json(x))
+// reproduces x exactly (doubles are emitted with round-trip precision).
+#pragma once
+
+#include <string>
+
+#include "algo/allocator.h"
+#include "io/json.h"
+#include "model/instance.h"
+
+namespace iaas {
+
+// ---- full problem instances (infrastructure + requests + previous) ----
+Json instance_to_json(const Instance& instance);
+Instance instance_from_json(const Json& json);  // throws on malformed input
+
+// Convenience file helpers (throw std::runtime_error on I/O failure).
+void save_instance(const Instance& instance, const std::string& path);
+Instance load_instance(const std::string& path);
+
+// ---- placements ----
+Json placement_to_json(const Placement& placement);
+Placement placement_from_json(const Json& json);
+
+// ---- allocation results (one-way: for analysis output) ----
+Json result_to_json(const AllocationResult& result);
+
+// Relationship-kind names used on the wire ("same-server", ...).
+std::string relation_kind_to_string(RelationKind kind);
+RelationKind relation_kind_from_string(const std::string& name);
+
+}  // namespace iaas

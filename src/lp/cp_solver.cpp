@@ -1,0 +1,266 @@
+#include "lp/cp_solver.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/expect.h"
+#include "model/constraint_checker.h"
+
+namespace iaas {
+namespace {
+
+double migration_cost(const Instance& inst, std::size_t k, std::size_t j) {
+  if (inst.previous.is_assigned(k) &&
+      inst.previous.server_of(k) != static_cast<std::int32_t>(j)) {
+    return inst.requests.vms[k].migration_cost;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+struct CpSolver::SearchContext {
+  ConstraintChecker checker;
+  Placement placement;
+  Matrix<double> used;
+  std::vector<std::uint32_t> vms_on_server;
+  double cost = 0.0;
+
+  Placement best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  bool found_complete = false;
+
+  Deadline deadline;
+  std::uint64_t backtrack_budget = 0;
+  CpStats stats;
+
+  explicit SearchContext(const Instance& inst)
+      : checker(inst),
+        placement(inst.n()),
+        used(inst.m(), inst.h()),
+        vms_on_server(inst.m(), 0),
+        best(inst.n()) {}
+};
+
+CpSolver::CpSolver(const Instance& instance, CpSolverOptions options)
+    : instance_(&instance), options_(options) {
+  const Instance& inst = *instance_;
+  const std::size_t n = inst.n();
+  const std::size_t m = inst.m();
+
+  // First-fail ordering: members of same-server groups first (they have
+  // the tightest coupled domains), then by largest relative demand.
+  std::vector<int> grouped(n, 0);
+  for (const PlacementConstraint& c : inst.requests.constraints) {
+    if (c.kind == RelationKind::kSameServer) {
+      for (std::uint32_t k : c.vms) {
+        grouped[k] = 2;
+      }
+    } else {
+      for (std::uint32_t k : c.vms) {
+        grouped[k] = std::max(grouped[k], 1);
+      }
+    }
+  }
+  std::vector<double> tightness(n, 0.0);
+  std::vector<double> mean_capacity(inst.h(), 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t l = 0; l < inst.h(); ++l) {
+      mean_capacity[l] += inst.infra.server(j).effective_capacity(l);
+    }
+  }
+  for (double& c : mean_capacity) {
+    c /= static_cast<double>(m);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t l = 0; l < inst.h(); ++l) {
+      tightness[k] = std::max(
+          tightness[k], inst.requests.vms[k].demand[l] / mean_capacity[l]);
+    }
+  }
+  vm_order_.resize(n);
+  std::iota(vm_order_.begin(), vm_order_.end(), 0u);
+  std::stable_sort(vm_order_.begin(), vm_order_.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     if (grouped[a] != grouped[b]) {
+                       return grouped[a] > grouped[b];
+                     }
+                     return tightness[a] > tightness[b];
+                   });
+
+  // Keep same-server group members adjacent so the group collapses to a
+  // single server choice early in the search.
+  std::vector<char> seen(n, 0);
+  std::vector<std::uint32_t> reordered;
+  reordered.reserve(n);
+  for (std::uint32_t k : vm_order_) {
+    if (seen[k] != 0) {
+      continue;
+    }
+    reordered.push_back(k);
+    seen[k] = 1;
+    for (const PlacementConstraint& c : inst.requests.constraints) {
+      if (c.kind != RelationKind::kSameServer) {
+        continue;
+      }
+      if (std::find(c.vms.begin(), c.vms.end(), k) == c.vms.end()) {
+        continue;
+      }
+      for (std::uint32_t peer : c.vms) {
+        if (seen[peer] == 0) {
+          reordered.push_back(peer);
+          seen[peer] = 1;
+        }
+      }
+    }
+  }
+  vm_order_ = std::move(reordered);
+
+  // Suffix lower bound on the remaining linear cost: every still-unplaced
+  // VM pays at least the fleet-minimum usage cost (migration and opex can
+  // be zero).
+  double min_usage = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < m; ++j) {
+    min_usage = std::min(min_usage, inst.infra.server(j).usage_cost);
+  }
+  remaining_lb_.assign(n + 1, 0.0);
+  for (std::size_t d = n; d-- > 0;) {
+    remaining_lb_[d] = remaining_lb_[d + 1] + min_usage;
+  }
+}
+
+double CpSolver::incremental_cost(std::size_t k, std::size_t j,
+                                  bool server_used) const {
+  const Server& server = instance_->infra.server(j);
+  double cost = server.usage_cost + migration_cost(*instance_, k, j);
+  if (!server_used) {
+    cost += server.opex;
+  }
+  return cost;
+}
+
+bool CpSolver::dfs(SearchContext& ctx, std::size_t depth) {
+  // Return value: true = abort search (budget exhausted), false = keep
+  // exploring siblings.
+  const Instance& inst = *instance_;
+  if (ctx.deadline.expired()) {
+    ctx.stats.timed_out = true;
+    return true;
+  }
+
+  if (depth == vm_order_.size()) {
+    ctx.stats.found_complete = true;
+    if (ctx.cost < ctx.best_cost) {
+      ctx.best_cost = ctx.cost;
+      ctx.best = ctx.placement;
+      ctx.found_complete = true;
+    }
+    // Complete leaf: with optimisation off, stop at the first solution.
+    return !options_.optimize;
+  }
+
+  ++ctx.stats.nodes;
+  const std::uint32_t k = vm_order_[depth];
+
+  // Candidate servers ordered by incremental linear cost.
+  struct Candidate {
+    std::uint32_t server;
+    double cost;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(inst.m());
+  for (std::size_t j = 0; j < inst.m(); ++j) {
+    if (!ctx.checker.is_valid_allocation(ctx.placement, ctx.used, k, j)) {
+      continue;
+    }
+    candidates.push_back({static_cast<std::uint32_t>(j),
+                          incremental_cost(k, j, ctx.vms_on_server[j] > 0)});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.cost < b.cost;
+                   });
+
+  for (const Candidate& cand : candidates) {
+    // Bound: partial cost + candidate + optimistic remainder.
+    if (ctx.cost + cand.cost + remaining_lb_[depth + 1] >= ctx.best_cost) {
+      break;  // candidates are cost-sorted; the rest only gets worse
+    }
+    const std::size_t j = cand.server;
+    ctx.placement.assign(k, static_cast<std::int32_t>(j));
+    ++ctx.vms_on_server[j];
+    for (std::size_t l = 0; l < inst.h(); ++l) {
+      ctx.used(j, l) += inst.requests.vms[k].demand[l];
+    }
+    ctx.cost += cand.cost;
+
+    const bool abort = dfs(ctx, depth + 1);
+
+    ctx.cost -= cand.cost;
+    for (std::size_t l = 0; l < inst.h(); ++l) {
+      ctx.used(j, l) -= inst.requests.vms[k].demand[l];
+    }
+    --ctx.vms_on_server[j];
+    ctx.placement.reject(k);
+
+    if (abort) {
+      return true;
+    }
+    ++ctx.stats.backtracks;
+    if (ctx.stats.backtracks >= ctx.backtrack_budget) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Placement CpSolver::solve(CpStats* stats) {
+  SearchContext ctx(*instance_);
+  ctx.deadline = Deadline::after_seconds(options_.time_limit_seconds);
+  ctx.backtrack_budget = options_.max_backtracks;
+
+  const bool aborted = dfs(ctx, 0);
+  ctx.stats.proved_optimal = !aborted && ctx.found_complete;
+  ctx.stats.best_cost = ctx.best_cost;
+
+  Placement result = ctx.found_complete ? ctx.best : greedy_with_rejection();
+  if (stats != nullptr) {
+    *stats = ctx.stats;
+  }
+  return result;
+}
+
+Placement CpSolver::greedy_with_rejection() const {
+  const Instance& inst = *instance_;
+  ConstraintChecker checker(inst);
+  Placement placement(inst.n());
+  Matrix<double> used(inst.m(), inst.h());
+  std::vector<std::uint32_t> vms_on_server(inst.m(), 0);
+
+  for (std::uint32_t k : vm_order_) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::int32_t best_server = Placement::kRejected;
+    for (std::size_t j = 0; j < inst.m(); ++j) {
+      if (!checker.is_valid_allocation(placement, used, k, j)) {
+        continue;
+      }
+      const double c = incremental_cost(k, j, vms_on_server[j] > 0);
+      if (c < best_cost) {
+        best_cost = c;
+        best_server = static_cast<std::int32_t>(j);
+      }
+    }
+    if (best_server == Placement::kRejected) {
+      continue;  // reject: no feasible host under the partial assignment
+    }
+    const auto j = static_cast<std::size_t>(best_server);
+    placement.assign(k, best_server);
+    ++vms_on_server[j];
+    for (std::size_t l = 0; l < inst.h(); ++l) {
+      used(j, l) += inst.requests.vms[k].demand[l];
+    }
+  }
+  return placement;
+}
+
+}  // namespace iaas

@@ -1,0 +1,84 @@
+#include "lp/domain_store.h"
+
+namespace iaas {
+
+DomainStore::DomainStore(std::size_t vms, std::size_t servers)
+    : servers_(servers),
+      stride_((servers + 63) / 64),
+      words_(vms * stride_, 0),
+      sizes_(vms, servers) {
+  IAAS_EXPECT(vms > 0 && servers > 0, "empty domain store");
+  for (std::size_t vm = 0; vm < vms; ++vm) {
+    for (std::size_t w = 0; w < stride_; ++w) {
+      words_[vm * stride_ + w] = ~std::uint64_t{0};
+    }
+    // Mask off the bits beyond server_count in the last word.
+    const std::size_t spill = stride_ * 64 - servers;
+    if (spill > 0) {
+      words_[vm * stride_ + stride_ - 1] >>= spill;
+    }
+  }
+}
+
+void DomainStore::remove(std::size_t vm, std::size_t server) {
+  if (!contains(vm, server)) {
+    return;
+  }
+  clear_bit(vm, server);
+  --sizes_[vm];
+  trail_.push_back((static_cast<std::uint64_t>(vm) << 32) | server);
+}
+
+void DomainStore::assign(std::size_t vm, std::size_t server) {
+  IAAS_EXPECT(contains(vm, server), "assigning a removed value");
+  for (std::size_t w = 0; w < stride_; ++w) {
+    std::uint64_t word = words_[vm * stride_ + w];
+    while (word != 0) {
+      const auto bit = static_cast<std::size_t>(__builtin_ctzll(word));
+      word &= word - 1;
+      const std::size_t value = w * 64 + bit;
+      if (value != server) {
+        remove(vm, value);
+      }
+    }
+  }
+}
+
+std::size_t DomainStore::single_value(std::size_t vm) const {
+  IAAS_EXPECT(sizes_[vm] == 1, "domain is not a singleton");
+  for (std::size_t w = 0; w < stride_; ++w) {
+    const std::uint64_t word = words_[vm * stride_ + w];
+    if (word != 0) {
+      return w * 64 + static_cast<std::size_t>(__builtin_ctzll(word));
+    }
+  }
+  IAAS_EXPECT(false, "corrupt domain");
+  return 0;
+}
+
+void DomainStore::values(std::size_t vm,
+                         std::vector<std::uint32_t>& out) const {
+  out.clear();
+  for (std::size_t w = 0; w < stride_; ++w) {
+    std::uint64_t word = words_[vm * stride_ + w];
+    while (word != 0) {
+      const auto bit = static_cast<std::size_t>(__builtin_ctzll(word));
+      word &= word - 1;
+      out.push_back(static_cast<std::uint32_t>(w * 64 + bit));
+    }
+  }
+}
+
+void DomainStore::rollback(std::size_t mark) {
+  IAAS_EXPECT(mark <= trail_.size(), "rollback past the trail");
+  while (trail_.size() > mark) {
+    const std::uint64_t entry = trail_.back();
+    trail_.pop_back();
+    const auto vm = static_cast<std::size_t>(entry >> 32);
+    const auto server = static_cast<std::size_t>(entry & 0xffffffffu);
+    set_bit(vm, server);
+    ++sizes_[vm];
+  }
+}
+
+}  // namespace iaas

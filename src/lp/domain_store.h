@@ -1,0 +1,61 @@
+// Backtrackable finite-domain store for the propagating CP solver: one
+// bitset domain of candidate servers per VM, with a trail so the search
+// can roll back removals in O(#changes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace iaas {
+
+class DomainStore {
+ public:
+  DomainStore(std::size_t vms, std::size_t servers);
+
+  [[nodiscard]] std::size_t vm_count() const { return sizes_.size(); }
+  [[nodiscard]] std::size_t server_count() const { return servers_; }
+
+  [[nodiscard]] bool contains(std::size_t vm, std::size_t server) const {
+    IAAS_DEBUG_EXPECT(vm < sizes_.size() && server < servers_,
+                      "domain index out of range");
+    return (words_[vm * stride_ + server / 64] >> (server % 64) & 1u) != 0;
+  }
+  [[nodiscard]] std::size_t size(std::size_t vm) const { return sizes_[vm]; }
+  [[nodiscard]] bool empty(std::size_t vm) const { return sizes_[vm] == 0; }
+
+  // Remove one value; records it on the trail. No-op if absent.
+  void remove(std::size_t vm, std::size_t server);
+
+  // Reduce dom(vm) to {server}; every other value is trailed. The value
+  // must currently be in the domain.
+  void assign(std::size_t vm, std::size_t server);
+
+  // The single remaining value (domain must be a singleton).
+  [[nodiscard]] std::size_t single_value(std::size_t vm) const;
+
+  // Iterate the current values of dom(vm) into `out` (cleared first).
+  void values(std::size_t vm, std::vector<std::uint32_t>& out) const;
+
+  // Trail management.
+  [[nodiscard]] std::size_t checkpoint() const { return trail_.size(); }
+  void rollback(std::size_t mark);
+
+ private:
+  void set_bit(std::size_t vm, std::size_t server) {
+    words_[vm * stride_ + server / 64] |= (std::uint64_t{1} << (server % 64));
+  }
+  void clear_bit(std::size_t vm, std::size_t server) {
+    words_[vm * stride_ + server / 64] &=
+        ~(std::uint64_t{1} << (server % 64));
+  }
+
+  std::size_t servers_;
+  std::size_t stride_;  // 64-bit words per VM
+  std::vector<std::uint64_t> words_;
+  std::vector<std::size_t> sizes_;
+  std::vector<std::uint64_t> trail_;  // packed (vm << 32 | server)
+};
+
+}  // namespace iaas

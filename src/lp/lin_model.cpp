@@ -1,0 +1,180 @@
+#include "lp/lin_model.h"
+
+#include "common/expect.h"
+
+namespace iaas {
+
+LinModel::LinModel(const Instance& instance) : instance_(&instance) {
+  build();
+}
+
+VarId LinModel::x(std::size_t j, std::size_t k) const {
+  IAAS_DEBUG_EXPECT(j < instance_->m() && k < instance_->n(),
+                    "x variable out of range");
+  return {static_cast<std::uint32_t>(j * instance_->n() + k)};
+}
+
+VarId LinModel::y(std::size_t j) const {
+  IAAS_DEBUG_EXPECT(j < instance_->m(), "y variable out of range");
+  return {static_cast<std::uint32_t>(instance_->m() * instance_->n() + j)};
+}
+
+void LinModel::build() {
+  const Instance& inst = *instance_;
+  const std::size_t m = inst.m();
+  const std::size_t n = inst.n();
+  const std::size_t h = inst.h();
+  var_count_ = m * n + m;
+
+  // Capacity (Eq. 16) per (server, attribute).
+  for (std::size_t j = 0; j < m; ++j) {
+    const Server& server = inst.infra.server(j);
+    for (std::size_t l = 0; l < h; ++l) {
+      LinConstraint c;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double demand = inst.requests.vms[k].demand[l];
+        if (demand > 0.0) {
+          c.lhs.add(x(j, k), demand);
+        }
+      }
+      c.relation = Relation::kLessEqual;
+      c.rhs = server.effective_capacity(l);
+      c.name = "capacity[j=" + std::to_string(j) +
+               ",l=" + std::to_string(l) + "]";
+      constraints_.push_back(std::move(c));
+    }
+  }
+
+  // Assignment (Eq. 17) per VM.
+  for (std::size_t k = 0; k < n; ++k) {
+    LinConstraint c;
+    for (std::size_t j = 0; j < m; ++j) {
+      c.lhs.add(x(j, k), 1.0);
+    }
+    c.relation = Relation::kEqual;
+    c.rhs = 1.0;
+    c.name = "assign[k=" + std::to_string(k) + "]";
+    constraints_.push_back(std::move(c));
+  }
+
+  // Linking x[j][k] <= y[j].
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      LinConstraint c;
+      c.lhs.add(x(j, k), 1.0);
+      c.lhs.add(y(j), -1.0);
+      c.relation = Relation::kLessEqual;
+      c.rhs = 0.0;
+      c.name = "link[j=" + std::to_string(j) + ",k=" + std::to_string(k) + "]";
+      constraints_.push_back(std::move(c));
+    }
+  }
+
+  // Relationship constraints (Eqs. 18-21, linearised per Eqs. 13-14: the
+  // quadratic "all on one server" products become pairwise equalities).
+  for (std::size_t ci = 0; ci < inst.requests.constraints.size(); ++ci) {
+    const PlacementConstraint& pc = inst.requests.constraints[ci];
+    const std::string tag = "rel" + std::to_string(ci);
+    switch (pc.kind) {
+      case RelationKind::kSameServer:
+        for (std::size_t a = 1; a < pc.vms.size(); ++a) {
+          for (std::size_t j = 0; j < m; ++j) {
+            LinConstraint c;
+            c.lhs.add(x(j, pc.vms[0]), 1.0);
+            c.lhs.add(x(j, pc.vms[a]), -1.0);
+            c.relation = Relation::kEqual;
+            c.rhs = 0.0;
+            c.name = tag + ".same-server[j=" + std::to_string(j) + "]";
+            constraints_.push_back(std::move(c));
+          }
+        }
+        break;
+      case RelationKind::kSameDatacenter:
+        for (std::size_t a = 1; a < pc.vms.size(); ++a) {
+          for (std::size_t dc = 0; dc < inst.g(); ++dc) {
+            LinConstraint c;
+            for (std::size_t j = 0; j < m; ++j) {
+              if (inst.infra.datacenter_of(j) == dc) {
+                c.lhs.add(x(j, pc.vms[0]), 1.0);
+                c.lhs.add(x(j, pc.vms[a]), -1.0);
+              }
+            }
+            c.relation = Relation::kEqual;
+            c.rhs = 0.0;
+            c.name = tag + ".same-dc[dc=" + std::to_string(dc) + "]";
+            constraints_.push_back(std::move(c));
+          }
+        }
+        break;
+      case RelationKind::kDifferentServers:
+        for (std::size_t j = 0; j < m; ++j) {
+          LinConstraint c;
+          for (std::uint32_t k : pc.vms) {
+            c.lhs.add(x(j, k), 1.0);
+          }
+          c.relation = Relation::kLessEqual;
+          c.rhs = 1.0;
+          c.name = tag + ".diff-server[j=" + std::to_string(j) + "]";
+          constraints_.push_back(std::move(c));
+        }
+        break;
+      case RelationKind::kDifferentDatacenters:
+        for (std::size_t dc = 0; dc < inst.g(); ++dc) {
+          LinConstraint c;
+          for (std::uint32_t k : pc.vms) {
+            for (std::size_t j = 0; j < m; ++j) {
+              if (inst.infra.datacenter_of(j) == dc) {
+                c.lhs.add(x(j, k), 1.0);
+              }
+            }
+          }
+          c.relation = Relation::kLessEqual;
+          c.rhs = 1.0;
+          c.name = tag + ".diff-dc[dc=" + std::to_string(dc) + "]";
+          constraints_.push_back(std::move(c));
+        }
+        break;
+    }
+  }
+
+  // Objective: usage + exploitation (Eq. 22) + migration (Eq. 26).
+  for (std::size_t j = 0; j < m; ++j) {
+    const Server& server = inst.infra.server(j);
+    objective_.add(y(j), server.opex);
+    for (std::size_t k = 0; k < n; ++k) {
+      double coeff = server.usage_cost;
+      if (inst.previous.is_assigned(k) &&
+          inst.previous.server_of(k) != static_cast<std::int32_t>(j)) {
+        coeff += inst.requests.vms[k].migration_cost;
+      }
+      objective_.add(x(j, k), coeff);
+    }
+  }
+}
+
+std::vector<double> LinModel::encode(const Placement& placement) const {
+  const Instance& inst = *instance_;
+  std::vector<double> assignment(var_count_, 0.0);
+  for (std::size_t k = 0; k < inst.n(); ++k) {
+    if (!placement.is_assigned(k)) {
+      continue;
+    }
+    const auto j = static_cast<std::size_t>(placement.server_of(k));
+    assignment[x(j, k).index] = 1.0;
+    assignment[y(j).index] = 1.0;
+  }
+  return assignment;
+}
+
+std::size_t LinModel::violated_count(
+    const std::vector<double>& assignment) const {
+  std::size_t violated = 0;
+  for (const LinConstraint& c : constraints_) {
+    if (!c.satisfied(assignment)) {
+      ++violated;
+    }
+  }
+  return violated;
+}
+
+}  // namespace iaas

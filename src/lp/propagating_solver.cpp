@@ -1,0 +1,326 @@
+#include "lp/propagating_solver.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expect.h"
+#include "common/matrix.h"
+#include "common/stopwatch.h"
+
+namespace iaas {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+struct PropagatingCpSolver::SearchState {
+  DomainStore domains;
+  Placement placement;
+  Matrix<double> residual;  // effective capacity remaining
+  std::vector<std::uint32_t> vms_on_server;
+  std::vector<std::uint32_t> commit_log;  // commit order (incl. forced)
+  double cost = 0.0;
+
+  Placement best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  bool found_complete = false;
+
+  Deadline deadline;
+  std::uint64_t backtrack_budget = 0;
+  CpStats stats;
+
+  std::vector<std::uint32_t> scratch_values;
+
+  explicit SearchState(const Instance& inst)
+      : domains(inst.n(), inst.m()),
+        placement(inst.n()),
+        residual(inst.m(), inst.h()),
+        vms_on_server(inst.m(), 0),
+        best(inst.n()) {
+    for (std::size_t j = 0; j < inst.m(); ++j) {
+      for (std::size_t l = 0; l < inst.h(); ++l) {
+        residual(j, l) = inst.infra.server(j).effective_capacity(l);
+      }
+    }
+  }
+};
+
+PropagatingCpSolver::PropagatingCpSolver(const Instance& instance,
+                                         CpSolverOptions options)
+    : instance_(&instance),
+      options_(options),
+      groups_of_vm_(instance.n()) {
+  for (std::size_t c = 0; c < instance.requests.constraints.size(); ++c) {
+    for (std::uint32_t k : instance.requests.constraints[c].vms) {
+      groups_of_vm_[k].push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+}
+
+double PropagatingCpSolver::incremental_cost(std::size_t k, std::size_t j,
+                                             bool server_used) const {
+  const Server& server = instance_->infra.server(j);
+  double cost = server.usage_cost;
+  if (instance_->previous.is_assigned(k) &&
+      instance_->previous.server_of(k) != static_cast<std::int32_t>(j)) {
+    cost += instance_->requests.vms[k].migration_cost;
+  }
+  if (!server_used) {
+    cost += server.opex;
+  }
+  return cost;
+}
+
+bool PropagatingCpSolver::propagate_assignment(SearchState& state,
+                                               std::size_t k,
+                                               std::size_t j) {
+  const Instance& inst = *instance_;
+  const VmRequest& vm = inst.requests.vms[k];
+
+  // Physical feasibility at commit time (forced singletons may have been
+  // filtered before the residual shrank further).
+  for (std::size_t l = 0; l < inst.h(); ++l) {
+    if (vm.demand[l] > state.residual(j, l) + kEps) {
+      return false;
+    }
+  }
+  if (!state.domains.contains(k, j)) {
+    return false;
+  }
+
+  state.cost += incremental_cost(k, j, state.vms_on_server[j] > 0);
+  state.domains.assign(k, j);
+  state.placement.assign(k, static_cast<std::int32_t>(j));
+  ++state.vms_on_server[j];
+  for (std::size_t l = 0; l < inst.h(); ++l) {
+    state.residual(j, l) -= vm.demand[l];
+  }
+  state.commit_log.push_back(static_cast<std::uint32_t>(k));
+
+  std::vector<std::size_t> forced;
+
+  // Capacity propagator: unassigned VMs that no longer fit j lose it.
+  for (std::size_t i = 0; i < inst.n(); ++i) {
+    if (state.placement.is_assigned(i) || !state.domains.contains(i, j)) {
+      continue;
+    }
+    bool fits = true;
+    for (std::size_t l = 0; l < inst.h(); ++l) {
+      if (inst.requests.vms[i].demand[l] > state.residual(j, l) + kEps) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) {
+      continue;
+    }
+    state.domains.remove(i, j);
+    if (state.domains.empty(i)) {
+      return false;
+    }
+    if (state.domains.size(i) == 1) {
+      forced.push_back(i);
+    }
+  }
+
+  // Relationship propagators for every group containing k.
+  const std::uint32_t dc_j = inst.infra.datacenter_of(j);
+  for (std::uint32_t cidx : groups_of_vm_[k]) {
+    const PlacementConstraint& c = inst.requests.constraints[cidx];
+    for (std::uint32_t peer : c.vms) {
+      if (peer == k || state.placement.is_assigned(peer)) {
+        continue;
+      }
+      switch (c.kind) {
+        case RelationKind::kSameServer:
+          if (!state.domains.contains(peer, j)) {
+            return false;
+          }
+          state.domains.assign(peer, j);
+          forced.push_back(peer);
+          break;
+        case RelationKind::kSameDatacenter: {
+          state.domains.values(peer, state.scratch_values);
+          for (std::uint32_t v : state.scratch_values) {
+            if (inst.infra.datacenter_of(v) != dc_j) {
+              state.domains.remove(peer, v);
+            }
+          }
+          break;
+        }
+        case RelationKind::kDifferentServers:
+          state.domains.remove(peer, j);
+          break;
+        case RelationKind::kDifferentDatacenters: {
+          state.domains.values(peer, state.scratch_values);
+          for (std::uint32_t v : state.scratch_values) {
+            if (inst.infra.datacenter_of(v) == dc_j) {
+              state.domains.remove(peer, v);
+            }
+          }
+          break;
+        }
+      }
+      if (state.domains.empty(peer)) {
+        return false;
+      }
+      if (state.domains.size(peer) == 1 &&
+          c.kind != RelationKind::kSameServer) {
+        forced.push_back(peer);
+      }
+    }
+  }
+
+  // Unit propagation: singleton domains commit immediately (their cost
+  // is forced anyway, and committing updates the residuals other
+  // propagators depend on).
+  for (std::size_t i : forced) {
+    if (state.placement.is_assigned(i)) {
+      continue;
+    }
+    if (!propagate_assignment(state, i, state.domains.single_value(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PropagatingCpSolver::dfs(SearchState& state,
+                              std::size_t /*assigned_count*/) {
+  const Instance& inst = *instance_;
+  if (state.deadline.expired()) {
+    state.stats.timed_out = true;
+    return true;
+  }
+  if (state.commit_log.size() == inst.n()) {
+    state.stats.found_complete = true;
+    if (state.cost < state.best_cost) {
+      state.best_cost = state.cost;
+      state.best = state.placement;
+      state.found_complete = true;
+    }
+    return !options_.optimize;
+  }
+
+  ++state.stats.nodes;
+
+  // First-fail: unassigned VM with the smallest domain.
+  std::size_t k = inst.n();
+  std::size_t best_size = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < inst.n(); ++i) {
+    if (!state.placement.is_assigned(i) &&
+        state.domains.size(i) < best_size) {
+      best_size = state.domains.size(i);
+      k = i;
+    }
+  }
+  IAAS_EXPECT(k < inst.n(), "no unassigned VM despite incomplete commit log");
+
+  // Value order: cheapest incremental cost first.
+  state.domains.values(k, state.scratch_values);
+  struct Candidate {
+    std::uint32_t server;
+    double cost;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(state.scratch_values.size());
+  for (std::uint32_t j : state.scratch_values) {
+    candidates.push_back(
+        {j, incremental_cost(k, j, state.vms_on_server[j] > 0)});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.cost < b.cost;
+                   });
+
+  // Optimistic bound on the unassigned remainder.
+  double min_usage = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < inst.m(); ++j) {
+    min_usage = std::min(min_usage, inst.infra.server(j).usage_cost);
+  }
+  const double remaining =
+      static_cast<double>(inst.n() - state.commit_log.size() - 1) *
+      min_usage;
+
+  for (const Candidate& cand : candidates) {
+    if (state.cost + cand.cost + remaining >= state.best_cost) {
+      break;  // sorted: the rest only gets costlier
+    }
+    const std::size_t trail_mark = state.domains.checkpoint();
+    const std::size_t commit_mark = state.commit_log.size();
+    const double saved_cost = state.cost;
+
+    bool ok = propagate_assignment(state, k, cand.server);
+    if (ok) {
+      if (dfs(state, state.commit_log.size())) {
+        return true;
+      }
+    }
+    // Roll back every commit this branch made (incl. forced ones).
+    while (state.commit_log.size() > commit_mark) {
+      const std::uint32_t vm = state.commit_log.back();
+      state.commit_log.pop_back();
+      const auto j =
+          static_cast<std::size_t>(state.placement.server_of(vm));
+      for (std::size_t l = 0; l < inst.h(); ++l) {
+        state.residual(j, l) += inst.requests.vms[vm].demand[l];
+      }
+      --state.vms_on_server[j];
+      state.placement.reject(vm);
+    }
+    state.domains.rollback(trail_mark);
+    state.cost = saved_cost;
+
+    ++state.stats.backtracks;
+    if (state.stats.backtracks >= state.backtrack_budget) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Placement PropagatingCpSolver::solve(CpStats* stats) {
+  const Instance& inst = *instance_;
+  SearchState state(inst);
+  state.deadline = Deadline::after_seconds(options_.time_limit_seconds);
+  state.backtrack_budget = options_.max_backtracks;
+
+  // Root filtering: servers a VM can never fit (even empty) leave its
+  // domain immediately.
+  bool root_consistent = true;
+  for (std::size_t k = 0; k < inst.n() && root_consistent; ++k) {
+    for (std::size_t j = 0; j < inst.m(); ++j) {
+      bool fits = true;
+      for (std::size_t l = 0; l < inst.h(); ++l) {
+        if (inst.requests.vms[k].demand[l] >
+            inst.infra.server(j).effective_capacity(l) + kEps) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) {
+        state.domains.remove(k, j);
+      }
+    }
+    root_consistent = !state.domains.empty(k);
+  }
+
+  bool aborted = true;
+  if (root_consistent) {
+    aborted = dfs(state, 0);
+  }
+  state.stats.proved_optimal = !aborted && state.found_complete;
+  state.stats.best_cost = state.best_cost;
+
+  Placement result =
+      state.found_complete
+          ? state.best
+          : CpSolver(inst, options_).greedy_with_rejection();
+  if (stats != nullptr) {
+    *stats = state.stats;
+  }
+  return result;
+}
+
+}  // namespace iaas

@@ -1,0 +1,35 @@
+// Resource attributes (paper §III: "we focus on attributes such as CPU,
+// RAM and disk for each virtual and physical resource. In addition, our
+// model can be extended to other specific attributes").
+//
+// Attributes are positional: index l in [0, h).  The first three indices
+// carry the canonical CPU/RAM/disk meaning; anything beyond is
+// provider-specific (GPU, IOPS, ...).  The model never special-cases an
+// attribute, matching the paper's requirement h = h' (provider and
+// consumer attribute spaces are identical).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace iaas {
+
+inline constexpr std::size_t kCpu = 0;
+inline constexpr std::size_t kRam = 1;
+inline constexpr std::size_t kDisk = 2;
+inline constexpr std::size_t kDefaultAttributeCount = 3;
+
+inline std::string attribute_name(std::size_t l) {
+  switch (l) {
+    case kCpu:
+      return "cpu";
+    case kRam:
+      return "ram";
+    case kDisk:
+      return "disk";
+    default:
+      return "attr" + std::to_string(l);
+  }
+}
+
+}  // namespace iaas

@@ -1,0 +1,93 @@
+#include "model/availability.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/expect.h"
+
+namespace iaas {
+
+ServiceAvailability service_availability(
+    const Instance& instance, const Placement& placement,
+    const std::vector<std::uint32_t>& vms,
+    double server_failure_probability) {
+  IAAS_EXPECT(server_failure_probability >= 0.0 &&
+                  server_failure_probability <= 1.0,
+              "failure probability must be in [0,1]");
+  ServiceAvailability out;
+
+  // Collect the distinct hosting servers; a rejected member makes
+  // "all up" impossible.
+  std::vector<std::uint32_t> servers;
+  bool any_rejected = false;
+  for (std::uint32_t k : vms) {
+    IAAS_EXPECT(k < instance.n(), "vm index out of range");
+    if (!placement.is_assigned(k)) {
+      any_rejected = true;
+      continue;
+    }
+    servers.push_back(static_cast<std::uint32_t>(placement.server_of(k)));
+  }
+  std::sort(servers.begin(), servers.end());
+  servers.erase(std::unique(servers.begin(), servers.end()), servers.end());
+
+  out.distinct_servers = servers.size();
+  std::vector<std::uint32_t> dcs;
+  for (std::uint32_t j : servers) {
+    dcs.push_back(instance.infra.datacenter_of(j));
+  }
+  std::sort(dcs.begin(), dcs.end());
+  dcs.erase(std::unique(dcs.begin(), dcs.end()), dcs.end());
+  out.distinct_datacenters = dcs.size();
+
+  const double up = 1.0 - server_failure_probability;
+  if (servers.empty()) {
+    out.all_up_probability = any_rejected ? 0.0 : 1.0;
+    out.any_up_probability = 0.0;
+    out.min_path_redundancy = 0;
+    return out;
+  }
+
+  // Independent server failures; co-located members share their host's
+  // fate, so both quantities depend only on the distinct host set.
+  double all_up = 1.0;
+  double all_down = 1.0;
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    all_up *= up;
+    all_down *= server_failure_probability;
+  }
+  out.all_up_probability = any_rejected ? 0.0 : all_up;
+  out.any_up_probability = 1.0 - all_down;
+
+  // Weakest pairwise network redundancy between member hosts.
+  if (servers.size() < 2) {
+    out.min_path_redundancy =
+        servers.empty() ? 0
+                        : instance.infra.fabric().path_redundancy(
+                              servers[0], servers[0]);
+  } else {
+    std::uint32_t weakest = std::numeric_limits<std::uint32_t>::max();
+    for (std::size_t a = 0; a < servers.size(); ++a) {
+      for (std::size_t b = a + 1; b < servers.size(); ++b) {
+        weakest = std::min(weakest, instance.infra.fabric().path_redundancy(
+                                        servers[a], servers[b]));
+      }
+    }
+    out.min_path_redundancy = weakest;
+  }
+  return out;
+}
+
+std::vector<ServiceAvailability> placement_availability(
+    const Instance& instance, const Placement& placement,
+    double server_failure_probability) {
+  std::vector<ServiceAvailability> out;
+  out.reserve(instance.requests.constraints.size());
+  for (const PlacementConstraint& c : instance.requests.constraints) {
+    out.push_back(service_availability(instance, placement, c.vms,
+                                       server_failure_probability));
+  }
+  return out;
+}
+
+}  // namespace iaas

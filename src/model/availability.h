@@ -1,0 +1,43 @@
+// Service-level availability analysis over placements.
+//
+// The paper's related-work critique of prior placement strategies is
+// that they "target improving the availability of some resources, but
+// neglect the availability of the whole services" — this module computes
+// exactly that whole-service view: given independent per-server failure
+// probabilities, the probability that an entire VM group (a service)
+// survives, accounting for co-location (VMs sharing a server share its
+// fate) and for the fabric's path redundancy between the group members.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/instance.h"
+#include "model/placement.h"
+
+namespace iaas {
+
+struct ServiceAvailability {
+  double all_up_probability = 1.0;   // every member VM up
+  double any_up_probability = 0.0;   // at least one member up (replicas)
+  std::size_t distinct_servers = 0;  // fault domains at host granularity
+  std::size_t distinct_datacenters = 0;
+  std::uint32_t min_path_redundancy = 0;  // weakest pairwise disjoint-path
+                                          // count between member hosts
+};
+
+// Availability of one VM group under i.i.d. per-server failure
+// probability `server_failure_probability`.  Rejected members count as
+// down.  Group members on the same server fail together.
+ServiceAvailability service_availability(const Instance& instance,
+                                         const Placement& placement,
+                                         const std::vector<std::uint32_t>& vms,
+                                         double server_failure_probability);
+
+// Aggregate report: one entry per relationship group of the instance,
+// index-aligned with instance.requests.constraints.
+std::vector<ServiceAvailability> placement_availability(
+    const Instance& instance, const Placement& placement,
+    double server_failure_probability);
+
+}  // namespace iaas

@@ -1,0 +1,175 @@
+#include "model/constraint_checker.h"
+
+#include <algorithm>
+
+namespace iaas {
+namespace {
+
+// Capacity comparisons tolerate tiny FP noise from accumulating demands.
+constexpr double kCapacityEps = 1e-9;
+
+}  // namespace
+
+void ConstraintChecker::compute_used(const Placement& placement,
+                                     Matrix<double>& used) const {
+  const Instance& inst = *instance_;
+  const std::size_t m = inst.m();
+  const std::size_t h = inst.h();
+  if (used.rows() != m || used.cols() != h) {
+    used = Matrix<double>(m, h);
+  } else {
+    used.fill(0.0);
+  }
+  for (std::size_t k = 0; k < inst.n(); ++k) {
+    if (!placement.is_assigned(k)) {
+      continue;
+    }
+    const auto j = static_cast<std::size_t>(placement.server_of(k));
+    const VmRequest& vm = inst.requests.vms[k];
+    for (std::size_t l = 0; l < h; ++l) {
+      used(j, l) += vm.demand[l];
+    }
+  }
+}
+
+ViolationReport ConstraintChecker::check(const Placement& placement) const {
+  const Instance& inst = *instance_;
+  IAAS_EXPECT(placement.vm_count() == inst.n(),
+              "placement size mismatch with instance");
+
+  ViolationReport report;
+  report.rejected_vms =
+      static_cast<std::uint32_t>(placement.rejected_count());
+
+  Matrix<double> used;
+  compute_used(placement, used);
+
+  for (std::size_t j = 0; j < inst.m(); ++j) {
+    const Server& server = inst.infra.server(j);
+    bool overloaded = false;
+    for (std::size_t l = 0; l < inst.h(); ++l) {
+      if (used(j, l) > server.effective_capacity(l) + kCapacityEps) {
+        ++report.capacity_violations;
+        overloaded = true;
+      }
+    }
+    if (overloaded) {
+      report.overloaded_servers.push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+
+  for (const PlacementConstraint& c : inst.requests.constraints) {
+    if (!relation_satisfied(c, placement)) {
+      ++report.relation_violations;
+    }
+  }
+  return report;
+}
+
+bool ConstraintChecker::relation_satisfied(const PlacementConstraint& c,
+                                           const Placement& placement) const {
+  const Instance& inst = *instance_;
+  // Collect the assigned members; groups with < 2 placed members cannot be
+  // violated.
+  std::vector<std::int32_t> servers;
+  servers.reserve(c.vms.size());
+  for (std::uint32_t k : c.vms) {
+    if (placement.is_assigned(k)) {
+      servers.push_back(placement.server_of(k));
+    }
+  }
+  if (servers.size() < 2) {
+    return true;
+  }
+
+  switch (c.kind) {
+    case RelationKind::kSameServer:
+      return std::all_of(servers.begin(), servers.end(),
+                         [&](std::int32_t s) { return s == servers[0]; });
+    case RelationKind::kSameDatacenter: {
+      const std::uint32_t dc0 =
+          inst.infra.datacenter_of(static_cast<std::size_t>(servers[0]));
+      return std::all_of(servers.begin(), servers.end(), [&](std::int32_t s) {
+        return inst.infra.datacenter_of(static_cast<std::size_t>(s)) == dc0;
+      });
+    }
+    case RelationKind::kDifferentServers: {
+      std::vector<std::int32_t> sorted = servers;
+      std::sort(sorted.begin(), sorted.end());
+      return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+    }
+    case RelationKind::kDifferentDatacenters: {
+      std::vector<std::uint32_t> dcs;
+      dcs.reserve(servers.size());
+      for (std::int32_t s : servers) {
+        dcs.push_back(inst.infra.datacenter_of(static_cast<std::size_t>(s)));
+      }
+      std::sort(dcs.begin(), dcs.end());
+      return std::adjacent_find(dcs.begin(), dcs.end()) == dcs.end();
+    }
+  }
+  return true;
+}
+
+bool ConstraintChecker::is_valid_allocation(const Placement& placement,
+                                            const Matrix<double>& used,
+                                            std::size_t k,
+                                            std::size_t j) const {
+  const Instance& inst = *instance_;
+  const Server& server = inst.infra.server(j);
+  const VmRequest& vm = inst.requests.vms[k];
+
+  // Capacity after adding k to j; if k is currently on j its demand is
+  // already inside `used`, so only test the increment when moving in.
+  const bool already_there =
+      placement.is_assigned(k) &&
+      static_cast<std::size_t>(placement.server_of(k)) == j;
+  for (std::size_t l = 0; l < inst.h(); ++l) {
+    const double add = already_there ? 0.0 : vm.demand[l];
+    if (used(j, l) + add > server.effective_capacity(l) + kCapacityEps) {
+      return false;
+    }
+  }
+
+  // Relationship constraints involving k, against already-assigned peers.
+  const std::uint32_t dc_j = inst.infra.datacenter_of(j);
+  for (const PlacementConstraint& c : inst.requests.constraints) {
+    if (std::find(c.vms.begin(), c.vms.end(),
+                  static_cast<std::uint32_t>(k)) == c.vms.end()) {
+      continue;
+    }
+    for (std::uint32_t peer : c.vms) {
+      if (peer == k || !placement.is_assigned(peer)) {
+        continue;
+      }
+      const auto peer_server =
+          static_cast<std::size_t>(placement.server_of(peer));
+      const std::uint32_t peer_dc = inst.infra.datacenter_of(peer_server);
+      switch (c.kind) {
+        case RelationKind::kSameServer:
+          if (peer_server != j) {
+            return false;
+          }
+          break;
+        case RelationKind::kSameDatacenter:
+          if (peer_dc != dc_j) {
+            return false;
+          }
+          break;
+        case RelationKind::kDifferentServers:
+          if (peer_server == j) {
+            return false;
+          }
+          break;
+        case RelationKind::kDifferentDatacenters:
+          if (peer_dc == dc_j) {
+            return false;
+          }
+          break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace iaas

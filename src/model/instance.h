@@ -1,0 +1,36 @@
+// One allocation problem instance: the provider infrastructure, the
+// consumer request set of the current time window, and the placement that
+// was active in the previous window (drives the migration objective,
+// Eq. 26: X^t vs X^{t+1}).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "model/infrastructure.h"
+#include "model/placement.h"
+#include "model/request_set.h"
+
+namespace iaas {
+
+struct Instance {
+  Instance(Infrastructure infrastructure, RequestSet request_set)
+      : infra(std::move(infrastructure)),
+        requests(std::move(request_set)),
+        previous(requests.vm_count()) {
+    IAAS_EXPECT(requests.valid(infra.attribute_count()),
+                "request set inconsistent with infrastructure attributes");
+  }
+
+  Infrastructure infra;
+  RequestSet requests;
+  Placement previous;  // all-kRejected when every request is fresh
+
+  // Paper Table I shorthands.
+  [[nodiscard]] std::size_t g() const { return infra.datacenter_count(); }
+  [[nodiscard]] std::size_t m() const { return infra.server_count(); }
+  [[nodiscard]] std::size_t n() const { return requests.vm_count(); }
+  [[nodiscard]] std::size_t h() const { return infra.attribute_count(); }
+};
+
+}  // namespace iaas

@@ -1,0 +1,66 @@
+// A placement is the decision variable of the model: the paper's boolean
+// tensor X_ijk collapses to one integer per VM because Eq. 17 forces each
+// consumer resource onto exactly one (datacenter, server).  Gene k holds
+// the global server index hosting VM k, or kRejected when the request is
+// rejected (the rejection-rate metric of Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace iaas {
+
+class Placement {
+ public:
+  static constexpr std::int32_t kRejected = -1;
+
+  Placement() = default;
+  explicit Placement(std::size_t vm_count)
+      : assignment_(vm_count, kRejected) {}
+  explicit Placement(std::vector<std::int32_t> assignment)
+      : assignment_(std::move(assignment)) {}
+
+  [[nodiscard]] std::size_t vm_count() const { return assignment_.size(); }
+
+  [[nodiscard]] bool is_assigned(std::size_t k) const {
+    IAAS_DEBUG_EXPECT(k < assignment_.size(), "vm index out of range");
+    return assignment_[k] != kRejected;
+  }
+
+  [[nodiscard]] std::int32_t server_of(std::size_t k) const {
+    IAAS_DEBUG_EXPECT(k < assignment_.size(), "vm index out of range");
+    return assignment_[k];
+  }
+
+  void assign(std::size_t k, std::int32_t server) {
+    IAAS_DEBUG_EXPECT(k < assignment_.size(), "vm index out of range");
+    assignment_[k] = server;
+  }
+
+  void reject(std::size_t k) { assign(k, kRejected); }
+
+  [[nodiscard]] std::size_t rejected_count() const {
+    std::size_t n = 0;
+    for (std::int32_t s : assignment_) {
+      n += (s == kRejected) ? 1 : 0;
+    }
+    return n;
+  }
+  [[nodiscard]] std::size_t assigned_count() const {
+    return assignment_.size() - rejected_count();
+  }
+
+  [[nodiscard]] const std::vector<std::int32_t>& genes() const {
+    return assignment_;
+  }
+  [[nodiscard]] std::vector<std::int32_t>& genes() { return assignment_; }
+
+  friend bool operator==(const Placement&, const Placement&) = default;
+
+ private:
+  std::vector<std::int32_t> assignment_;
+};
+
+}  // namespace iaas

@@ -1,0 +1,40 @@
+// The consumer side of the allocation problem: the n requested virtual
+// resources of one allocation window plus their affinity/anti-affinity
+// relationships (paper Table I: N, C_kl, C^Q_k, C^U_k, M_k + Eqs. 9-12).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/placement_constraint.h"
+#include "model/vm_request.h"
+
+namespace iaas {
+
+struct RequestSet {
+  std::vector<VmRequest> vms;
+  std::vector<PlacementConstraint> constraints;
+
+  [[nodiscard]] std::size_t vm_count() const { return vms.size(); }
+
+  [[nodiscard]] bool valid(std::size_t h) const {
+    for (const VmRequest& vm : vms) {
+      if (!vm.valid(h)) {
+        return false;
+      }
+    }
+    for (const PlacementConstraint& c : constraints) {
+      if (c.vms.size() < 2) {
+        return false;
+      }
+      for (std::uint32_t k : c.vms) {
+        if (k >= vms.size()) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace iaas

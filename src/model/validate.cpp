@@ -1,0 +1,128 @@
+#include "model/validate.h"
+
+#include <algorithm>
+
+#include "model/attributes.h"
+#include "model/constraint_checker.h"
+
+namespace iaas {
+
+std::vector<std::string> validate_instance(const Instance& instance) {
+  std::vector<std::string> findings;
+  const std::size_t h = instance.h();
+
+  for (std::size_t j = 0; j < instance.m(); ++j) {
+    if (!instance.infra.server(j).valid(h)) {
+      findings.push_back("server " + std::to_string(j) +
+                         ": record fails range validation");
+    }
+  }
+  if (!instance.requests.valid(h)) {
+    findings.push_back("request set: VM records or constraint group"
+                       " indices fail validation");
+    return findings;  // further checks would index out of range
+  }
+
+  // Per-VM satisfiability: every request must fit at least one server on
+  // its own, otherwise it can never be served.
+  for (std::size_t k = 0; k < instance.n(); ++k) {
+    const VmRequest& vm = instance.requests.vms[k];
+    bool fits_somewhere = false;
+    for (std::size_t j = 0; j < instance.m() && !fits_somewhere; ++j) {
+      bool fits = true;
+      for (std::size_t l = 0; l < h; ++l) {
+        if (vm.demand[l] > instance.infra.server(j).effective_capacity(l)) {
+          fits = false;
+          break;
+        }
+      }
+      fits_somewhere = fits;
+    }
+    if (!fits_somewhere) {
+      findings.push_back("vm " + std::to_string(k) +
+                         ": demand exceeds every server's capacity");
+    }
+  }
+
+  // Group-level satisfiability screens.
+  std::vector<double> max_eff(h, 0.0);
+  for (std::size_t j = 0; j < instance.m(); ++j) {
+    for (std::size_t l = 0; l < h; ++l) {
+      max_eff[l] = std::max(max_eff[l],
+                            instance.infra.server(j).effective_capacity(l));
+    }
+  }
+  for (std::size_t c = 0; c < instance.requests.constraints.size(); ++c) {
+    const PlacementConstraint& pc = instance.requests.constraints[c];
+    const std::string tag = "constraint " + std::to_string(c);
+    if (pc.kind == RelationKind::kDifferentDatacenters &&
+        pc.vms.size() > instance.g()) {
+      findings.push_back(tag + ": different-datacenters group of " +
+                         std::to_string(pc.vms.size()) + " exceeds " +
+                         std::to_string(instance.g()) + " datacenters");
+    }
+    if (pc.kind == RelationKind::kDifferentServers &&
+        pc.vms.size() > instance.m()) {
+      findings.push_back(tag + ": different-servers group exceeds the"
+                         " server count");
+    }
+    if (pc.kind == RelationKind::kSameServer) {
+      for (std::size_t l = 0; l < h; ++l) {
+        double sum = 0.0;
+        for (std::uint32_t k : pc.vms) {
+          sum += instance.requests.vms[k].demand[l];
+        }
+        if (sum > max_eff[l]) {
+          findings.push_back(tag + ": same-server group cannot fit any"
+                             " server on attribute " + attribute_name(l));
+          break;
+        }
+      }
+    }
+    // A VM in two groups with contradictory kinds is a modelling smell.
+    for (std::size_t other = c + 1;
+         other < instance.requests.constraints.size(); ++other) {
+      const PlacementConstraint& oc = instance.requests.constraints[other];
+      const bool conflict =
+          (pc.kind == RelationKind::kSameServer &&
+           oc.kind == RelationKind::kDifferentServers) ||
+          (pc.kind == RelationKind::kDifferentServers &&
+           oc.kind == RelationKind::kSameServer);
+      if (!conflict) {
+        continue;
+      }
+      std::size_t shared = 0;
+      for (std::uint32_t k : pc.vms) {
+        shared += static_cast<std::size_t>(
+            std::count(oc.vms.begin(), oc.vms.end(), k));
+      }
+      if (shared >= 2) {
+        findings.push_back(tag + ": shares >= 2 members with conflicting"
+                           " constraint " + std::to_string(other));
+      }
+    }
+  }
+
+  // The previous placement must reference real servers and be feasible.
+  if (instance.previous.vm_count() != instance.n()) {
+    findings.push_back("previous placement: size mismatch");
+  } else {
+    bool in_range = true;
+    for (std::size_t k = 0; k < instance.n(); ++k) {
+      const std::int32_t j = instance.previous.server_of(k);
+      if (j != Placement::kRejected &&
+          (j < 0 || static_cast<std::size_t>(j) >= instance.m())) {
+        findings.push_back("previous placement: vm " + std::to_string(k) +
+                           " references unknown server");
+        in_range = false;
+      }
+    }
+    if (in_range &&
+        !ConstraintChecker(instance).check(instance.previous).feasible()) {
+      findings.push_back("previous placement: violates constraints");
+    }
+  }
+  return findings;
+}
+
+}  // namespace iaas

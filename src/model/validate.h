@@ -1,0 +1,15 @@
+// Whole-instance validation: structural checks plus satisfiability
+// screens.  Used on untrusted input (JSON scenario files) and by the
+// generator's own tests.  Returns human-readable findings; empty = clean.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/instance.h"
+
+namespace iaas {
+
+std::vector<std::string> validate_instance(const Instance& instance);
+
+}  // namespace iaas

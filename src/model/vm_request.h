@@ -1,0 +1,36 @@
+// A consumer (requested) resource — a virtual machine, carrying the
+// per-VM rows of the paper's matrices and vectors:
+//   demand[l]       = C_kl  (Eq. 2)  requested capacity per attribute
+//   qos_guarantee   = C^Q_k          QoS level the provider must uphold
+//   downtime_cost   = C^U_k          penalty per QoS/SLA violation
+//   migration_cost  = M_k   (Eq.26)  cost of moving this VM in a plan
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace iaas {
+
+struct VmRequest {
+  std::vector<double> demand;     // C_kl >= 0
+  double qos_guarantee = 0.9;     // C^Q_k in (0, 1)
+  double downtime_cost = 0.0;     // C^U_k >= 0
+  double migration_cost = 0.0;    // M_k >= 0
+
+  [[nodiscard]] std::size_t attribute_count() const { return demand.size(); }
+
+  [[nodiscard]] bool valid(std::size_t h) const {
+    if (demand.size() != h) {
+      return false;
+    }
+    for (double d : demand) {
+      if (d < 0.0) {
+        return false;
+      }
+    }
+    return qos_guarantee > 0.0 && qos_guarantee < 1.0 &&
+           downtime_cost >= 0.0 && migration_cost >= 0.0;
+  }
+};
+
+}  // namespace iaas

@@ -1,0 +1,190 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace iaas {
+namespace {
+
+// Knuth's Poisson sampler; adequate for window-level arrival counts.
+std::size_t poisson(double mean, Rng& rng) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  const double limit = std::exp(-mean);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.next_double();
+  } while (p > limit);
+  return k - 1;
+}
+
+// Remove the VMs with keep[k] == 0 from the set + placement, remapping
+// relationship-group indices (groups shrinking below two members vanish).
+void compact(RequestSet& requests, Placement& placement,
+             const std::vector<char>& keep) {
+  std::vector<std::uint32_t> remap(requests.vms.size(), 0);
+  std::vector<VmRequest> vms;
+  std::vector<std::int32_t> genes;
+  for (std::size_t k = 0; k < requests.vms.size(); ++k) {
+    if (keep[k] == 0) {
+      continue;
+    }
+    remap[k] = static_cast<std::uint32_t>(vms.size());
+    vms.push_back(std::move(requests.vms[k]));
+    genes.push_back(placement.server_of(k));
+  }
+  std::vector<PlacementConstraint> constraints;
+  for (PlacementConstraint& c : requests.constraints) {
+    std::vector<std::uint32_t> members;
+    for (std::uint32_t k : c.vms) {
+      if (keep[k] != 0) {
+        members.push_back(remap[k]);
+      }
+    }
+    if (members.size() >= 2) {
+      constraints.push_back({c.kind, std::move(members)});
+    }
+  }
+  requests.vms = std::move(vms);
+  requests.constraints = std::move(constraints);
+  placement = Placement(std::move(genes));
+}
+
+}  // namespace
+
+CloudSimulator::CloudSimulator(SimConfig config,
+                               std::unique_ptr<Allocator> allocator)
+    : config_(config), allocator_(std::move(allocator)) {
+  IAAS_EXPECT(allocator_ != nullptr, "simulator needs an allocator");
+}
+
+std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
+  Rng rng(seed);
+  ScenarioGenerator generator(config_.scenario);
+  const Infrastructure infra = generator.generate_infrastructure(seed);
+
+  RequestSet live;        // every VM that should be running
+  Placement live_placement(0);
+
+  std::vector<WindowMetrics> metrics;
+  metrics.reserve(config_.windows);
+
+  for (std::size_t w = 0; w < config_.windows; ++w) {
+    WindowMetrics row;
+    row.window = w;
+
+    // Departures among currently running VMs.
+    if (!live.vms.empty() && config_.departure_probability > 0.0) {
+      std::vector<char> keep(live.vms.size(), 1);
+      for (std::size_t k = 0; k < live.vms.size(); ++k) {
+        if (rng.bernoulli(config_.departure_probability)) {
+          keep[k] = 0;
+          ++row.departed;
+        }
+      }
+      if (row.departed > 0) {
+        compact(live, live_placement, keep);
+      }
+    }
+
+    // Arrivals: a fresh batch with its own relationship groups, counted
+    // either by the explicit schedule (trace-driven) or Poisson.
+    const std::size_t arrivals =
+        config_.arrival_schedule.empty()
+            ? poisson(config_.arrivals_per_window_mean, rng)
+            : config_.arrival_schedule[w % config_.arrival_schedule.size()];
+    row.arrived = arrivals;
+    if (arrivals > 0) {
+      RequestSet batch = generator.generate_requests(
+          infra, static_cast<std::uint32_t>(arrivals), rng.next_u64());
+      const auto offset = static_cast<std::uint32_t>(live.vms.size());
+      for (VmRequest& vm : batch.vms) {
+        live.vms.push_back(std::move(vm));
+        live_placement.genes().push_back(Placement::kRejected);
+      }
+      for (PlacementConstraint& c : batch.constraints) {
+        for (std::uint32_t& k : c.vms) {
+          k += offset;
+        }
+        live.constraints.push_back(std::move(c));
+      }
+    }
+
+    if (live.vms.empty()) {
+      metrics.push_back(row);
+      continue;
+    }
+
+    // Transient server failures: the failed hosts keep their identity but
+    // lose their capacity for this window, so the allocator is forced to
+    // evacuate them (and pays Eq. 26 for every displaced VM it saves).
+    std::vector<char> failed(infra.server_count(), 0);
+    Infrastructure window_infra = infra;
+    if (config_.server_failure_probability > 0.0) {
+      std::vector<Server> servers = infra.servers();
+      for (std::size_t j = 0; j < servers.size(); ++j) {
+        if (rng.bernoulli(config_.server_failure_probability)) {
+          failed[j] = 1;
+          ++row.failed_servers;
+          for (double& f : servers[j].factor) {
+            f = 1e-9;  // effective capacity ~ 0: nothing can stay
+          }
+        }
+      }
+      if (row.failed_servers > 0) {
+        window_infra =
+            Infrastructure(infra.fabric().config(), std::move(servers));
+        for (std::size_t k = 0; k < live.vms.size(); ++k) {
+          if (live_placement.is_assigned(k) &&
+              failed[static_cast<std::size_t>(
+                  live_placement.server_of(k))] != 0) {
+            ++row.displaced_vms;
+          }
+        }
+      }
+    }
+
+    // One allocation round over everything that should be running.
+    Instance instance(std::move(window_infra), live);
+    instance.previous = live_placement;
+
+    Stopwatch timer;
+    const AllocationResult result =
+        allocator_->allocate(instance, rng.next_u64());
+    row.solve_seconds = timer.elapsed_seconds();
+
+    const ReconfigurationPlan plan =
+        make_plan(instance, live_placement, result.placement);
+    row.boots = plan.boots();
+    row.migrations = plan.migrations();
+    row.migration_cost = plan.migration_cost();
+    row.rejected = result.rejected;
+    row.objectives = result.objectives;
+
+    // Apply: rejected VMs (new or evicted) leave the platform.
+    live_placement = result.placement;
+    std::vector<char> keep(live.vms.size(), 1);
+    bool any_drop = false;
+    for (std::size_t k = 0; k < live.vms.size(); ++k) {
+      if (!live_placement.is_assigned(k)) {
+        keep[k] = 0;
+        any_drop = true;
+      }
+    }
+    if (any_drop) {
+      compact(live, live_placement, keep);
+    }
+    row.running = live.vms.size();
+    metrics.push_back(row);
+  }
+  return metrics;
+}
+
+}  // namespace iaas

@@ -1,0 +1,69 @@
+// Cyclic time-window scheduler (paper §III: "Our scheduler is aware of
+// the cloud platform status in real time. Our idea is to directly include
+// all requests within a cyclic time window during the execution of the
+// allocation optimization process.").
+//
+// Each window: new requests arrive (batch drawn from the scenario
+// generator), some running VMs depart, and the allocator solves one
+// Instance containing every VM that should be running — with the current
+// placement as `previous`, so migrations are priced by Eq. 26.  The
+// sanitized result is applied as a reconfiguration plan.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "algo/allocator.h"
+#include "model/instance.h"
+#include "sim/reconfiguration_plan.h"
+#include "workload/generator.h"
+
+namespace iaas {
+
+struct SimConfig {
+  std::size_t windows = 10;
+  double arrivals_per_window_mean = 20.0;  // Poisson arrivals
+  double departure_probability = 0.10;     // per running VM per window
+  // Platform failures (the paper's future-work "platform failures"
+  // events): each window, each server suffers a transient outage with
+  // this probability — its capacity drops to ~zero for the window, so
+  // the allocator must re-place everything it hosted.
+  double server_failure_probability = 0.0;
+  // Explicit per-window arrival counts (e.g. from an ArrivalTrace's
+  // diurnal/burst model).  When non-empty it overrides the Poisson
+  // arrivals; windows beyond its length wrap around.
+  std::vector<std::size_t> arrival_schedule;
+  ScenarioConfig scenario;                 // infrastructure + request shape
+};
+
+struct WindowMetrics {
+  std::size_t window = 0;
+  std::size_t arrived = 0;
+  std::size_t departed = 0;
+  std::size_t running = 0;    // after applying the plan
+  std::size_t rejected = 0;   // of this window's full instance
+  std::size_t boots = 0;
+  std::size_t migrations = 0;
+  double migration_cost = 0.0;
+  std::size_t failed_servers = 0;  // transient outages this window
+  std::size_t displaced_vms = 0;   // VMs forced off failed servers
+  ObjectiveVector objectives;  // of the applied placement
+  double solve_seconds = 0.0;
+};
+
+class CloudSimulator {
+ public:
+  CloudSimulator(SimConfig config, std::unique_ptr<Allocator> allocator);
+
+  // Run the full horizon; one metrics row per window.
+  std::vector<WindowMetrics> run(std::uint64_t seed);
+
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+ private:
+  SimConfig config_;
+  std::unique_ptr<Allocator> allocator_;
+};
+
+}  // namespace iaas

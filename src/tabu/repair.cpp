@@ -1,0 +1,351 @@
+#include "tabu/repair.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/expect.h"
+#include "tabu/tabu_list.h"
+
+namespace iaas {
+
+TabuRepair::TabuRepair(const Instance& instance, TabuRepairOptions options)
+    : instance_(&instance),
+      options_(options),
+      checker_(instance),
+      neighbour_order_(instance.m()) {}
+
+const std::vector<std::uint32_t>& TabuRepair::neighbours_of(
+    std::size_t server) const {
+  auto& order = neighbour_order_[server];
+  if (order.empty()) {
+    const Fabric& fabric = instance_->infra.fabric();
+    order.resize(instance_->m());
+    std::iota(order.begin(), order.end(), 0u);
+    const auto src = static_cast<std::uint32_t>(server);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return fabric.hop_distance(src, a) <
+                              fabric.hop_distance(src, b);
+                     });
+  }
+  return order;
+}
+
+std::int32_t TabuRepair::find_neighbour(const Placement& placement,
+                                        const Matrix<double>& used,
+                                        std::size_t k,
+                                        const TabuList& tabu) const {
+  const std::int32_t current = placement.server_of(k);
+  const std::size_t anchor =
+      current >= 0 ? static_cast<std::size_t>(current) : 0;
+  for (std::uint32_t j : neighbours_of(anchor)) {
+    if (static_cast<std::int32_t>(j) == current) {
+      continue;
+    }
+    if (tabu.is_tabu(static_cast<std::uint32_t>(k),
+                     static_cast<std::int32_t>(j))) {
+      continue;
+    }
+    if (checker_.is_valid_allocation(placement, used, k, j)) {
+      return static_cast<std::int32_t>(j);
+    }
+  }
+  return Placement::kRejected;
+}
+
+bool TabuRepair::relocate_group(Placement& placement, Matrix<double>& used,
+                                const std::vector<std::uint32_t>& vms,
+                                std::int32_t target, TabuList& tabu) const {
+  const Instance& inst = *instance_;
+  const auto t = static_cast<std::size_t>(target);
+  const Server& server = inst.infra.server(t);
+
+  // Capacity check for the members not already on the target.
+  for (std::size_t l = 0; l < inst.h(); ++l) {
+    double incoming = 0.0;
+    for (std::uint32_t k : vms) {
+      if (placement.is_assigned(k) && placement.server_of(k) != target) {
+        incoming += inst.requests.vms[k].demand[l];
+      }
+    }
+    if (incoming == 0.0) {
+      continue;
+    }
+    if (used(t, l) + incoming > server.effective_capacity(l) + 1e-9) {
+      return false;
+    }
+  }
+
+  // Move everyone; the group's own same-server relation is satisfied by
+  // construction, and the post-move audit in repair() catches any clash
+  // with a member's other constraints for the next pass.
+  bool moved = false;
+  for (std::uint32_t k : vms) {
+    if (!placement.is_assigned(k) || placement.server_of(k) == target) {
+      continue;
+    }
+    const std::int32_t from = placement.server_of(k);
+    move_vm(placement, used, k, target);
+    tabu.forbid(k, from);
+    moved = true;
+  }
+  return moved;
+}
+
+void TabuRepair::move_vm(Placement& placement, Matrix<double>& used,
+                         std::size_t k, std::int32_t to) const {
+  const VmRequest& vm = instance_->requests.vms[k];
+  const std::int32_t from = placement.server_of(k);
+  if (from >= 0) {
+    for (std::size_t l = 0; l < instance_->h(); ++l) {
+      used(static_cast<std::size_t>(from), l) -= vm.demand[l];
+    }
+  }
+  placement.assign(k, to);
+  if (to >= 0) {
+    for (std::size_t l = 0; l < instance_->h(); ++l) {
+      used(static_cast<std::size_t>(to), l) += vm.demand[l];
+    }
+  }
+}
+
+bool TabuRepair::repair_capacity(Placement& placement, Matrix<double>& used,
+                                 TabuList& tabu, Rng& rng) const {
+  const Instance& inst = *instance_;
+  bool moved_any = false;
+
+  // exceedingDetection (Fig. 5 line 2): servers whose allocated demand
+  // exceeds effective capacity on any attribute.
+  auto exceeds = [&](std::size_t j) {
+    const Server& server = inst.infra.server(j);
+    for (std::size_t l = 0; l < inst.h(); ++l) {
+      if (used(j, l) > server.effective_capacity(l) + 1e-9) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // VMs grouped per server so overloaded hosts can shed load until they
+  // fit again.
+  std::vector<std::vector<std::uint32_t>> vms_on(inst.m());
+  for (std::size_t k = 0; k < inst.n(); ++k) {
+    if (placement.is_assigned(k)) {
+      vms_on[static_cast<std::size_t>(placement.server_of(k))].push_back(
+          static_cast<std::uint32_t>(k));
+    }
+  }
+
+  for (std::size_t j = 0; j < inst.m(); ++j) {
+    if (!exceeds(j)) {
+      continue;
+    }
+    // Shed in random order so repeated repairs explore different subsets
+    // (the stochastic component of the tabu walk).
+    std::vector<std::uint32_t> shed_order = vms_on[j];
+    rng.shuffle(shed_order);
+    for (std::uint32_t k : shed_order) {
+      if (!exceeds(j)) {
+        break;  // server fits again: stop evicting (refinement over Fig. 5)
+      }
+      const std::int32_t target = find_neighbour(placement, used, k, tabu);
+      if (target == Placement::kRejected) {
+        continue;  // no valid neighbour for this VM; try shedding others
+      }
+      const std::int32_t from = placement.server_of(k);
+      move_vm(placement, used, k, target);
+      tabu.forbid(k, from);  // don't bounce straight back
+      moved_any = true;
+    }
+
+    // Deadlock breaker: a satisfied same-server group on a too-small
+    // host cannot shed members individually (each move would break the
+    // relation and is_valid_allocation vetoes it) — relocate the whole
+    // group to a bigger server instead.
+    if (exceeds(j)) {
+      for (const PlacementConstraint& c : inst.requests.constraints) {
+        if (!exceeds(j)) {
+          break;
+        }
+        if (c.kind != RelationKind::kSameServer) {
+          continue;
+        }
+        const bool anchored_here = std::any_of(
+            c.vms.begin(), c.vms.end(), [&](std::uint32_t k) {
+              return placement.is_assigned(k) &&
+                     placement.server_of(k) ==
+                         static_cast<std::int32_t>(j);
+            });
+        if (!anchored_here) {
+          continue;
+        }
+        for (std::uint32_t target : neighbours_of(j)) {
+          if (target == j) {
+            continue;
+          }
+          if (relocate_group(placement, used, c.vms,
+                             static_cast<std::int32_t>(target), tabu)) {
+            moved_any = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return moved_any;
+}
+
+bool TabuRepair::repair_relations(Placement& placement, Matrix<double>& used,
+                                  TabuList& tabu, Rng& rng) const {
+  const Instance& inst = *instance_;
+  bool moved_any = false;
+
+  for (const PlacementConstraint& c : inst.requests.constraints) {
+    if (checker_.relation_satisfied(c, placement)) {
+      continue;
+    }
+    switch (c.kind) {
+      case RelationKind::kSameServer: {
+        // Relocate the whole group atomically (member-by-member moves can
+        // never reassemble a group scattered over 3+ servers, because the
+        // first mover is invalid against its not-yet-moved peers).
+        // Anchor candidates: each member's current host (cheapest moves),
+        // then the full fabric-ordered neighbour list.
+        std::vector<std::int32_t> anchors;
+        for (std::uint32_t anchor_vm : c.vms) {
+          if (placement.is_assigned(anchor_vm)) {
+            anchors.push_back(placement.server_of(anchor_vm));
+          }
+        }
+        if (!anchors.empty()) {
+          for (std::uint32_t j : neighbours_of(
+                   static_cast<std::size_t>(anchors.front()))) {
+            anchors.push_back(static_cast<std::int32_t>(j));
+          }
+        }
+        for (const std::int32_t anchor : anchors) {
+          if (relocate_group(placement, used, c.vms, anchor, tabu)) {
+            moved_any = true;
+            break;
+          }
+        }
+        break;
+      }
+      case RelationKind::kSameDatacenter: {
+        // Anchor datacenter = the one hosting the most members; move the
+        // stragglers to any valid server inside it.
+        std::vector<std::size_t> count(inst.g(), 0);
+        for (std::uint32_t k : c.vms) {
+          if (placement.is_assigned(k)) {
+            ++count[inst.infra.datacenter_of(
+                static_cast<std::size_t>(placement.server_of(k)))];
+          }
+        }
+        const std::size_t anchor_dc = static_cast<std::size_t>(
+            std::max_element(count.begin(), count.end()) - count.begin());
+        for (std::uint32_t k : c.vms) {
+          if (!placement.is_assigned(k)) {
+            continue;
+          }
+          const auto cur = static_cast<std::size_t>(placement.server_of(k));
+          if (inst.infra.datacenter_of(cur) == anchor_dc) {
+            continue;
+          }
+          for (std::uint32_t j : neighbours_of(cur)) {
+            if (inst.infra.datacenter_of(j) != anchor_dc) {
+              continue;
+            }
+            if (checker_.is_valid_allocation(placement, used, k, j)) {
+              move_vm(placement, used, k, static_cast<std::int32_t>(j));
+              tabu.forbid(k, static_cast<std::int32_t>(cur));
+              moved_any = true;
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case RelationKind::kDifferentServers:
+      case RelationKind::kDifferentDatacenters: {
+        // Keep the first occupant of each server/DC; move the duplicates
+        // to the nearest valid alternative (is_valid_allocation enforces
+        // the anti-affinity against the remaining members).
+        std::vector<std::uint32_t> members(c.vms);
+        rng.shuffle(members);
+        std::vector<std::int32_t> taken;
+        for (std::uint32_t k : members) {
+          if (!placement.is_assigned(k)) {
+            continue;
+          }
+          const std::int32_t cur = placement.server_of(k);
+          const std::int32_t slot =
+              c.kind == RelationKind::kDifferentServers
+                  ? cur
+                  : static_cast<std::int32_t>(inst.infra.datacenter_of(
+                        static_cast<std::size_t>(cur)));
+          if (std::find(taken.begin(), taken.end(), slot) == taken.end()) {
+            taken.push_back(slot);
+            continue;
+          }
+          const std::int32_t target =
+              find_neighbour(placement, used, k, tabu);
+          if (target == Placement::kRejected) {
+            continue;
+          }
+          move_vm(placement, used, k, target);
+          tabu.forbid(k, cur);
+          moved_any = true;
+          const std::int32_t new_slot =
+              c.kind == RelationKind::kDifferentServers
+                  ? target
+                  : static_cast<std::int32_t>(inst.infra.datacenter_of(
+                        static_cast<std::size_t>(target)));
+          taken.push_back(new_slot);
+        }
+        break;
+      }
+    }
+  }
+  return moved_any;
+}
+
+std::uint32_t TabuRepair::repair(std::vector<std::int32_t>& genes, Rng& rng) {
+  const Instance& inst = *instance_;
+  IAAS_EXPECT(genes.size() == inst.n(), "gene count mismatch with instance");
+
+  Placement placement(genes);
+  // Fast path: feasible individuals pass through untouched (the paper
+  // only treats parents that "do not respect users constraints").
+  if (checker_.check(placement).feasible()) {
+    return 0;
+  }
+  Matrix<double> used;
+  checker_.compute_used(placement, used);
+  TabuList tabu(options_.tabu_tenure);
+
+  std::uint32_t remaining = 0;
+  for (std::size_t pass = 0; pass < options_.max_passes; ++pass) {
+    bool moved = repair_capacity(placement, used, tabu, rng);
+    if (options_.fix_relations) {
+      moved = repair_relations(placement, used, tabu, rng) || moved;
+    }
+    remaining = checker_.check(placement).total();
+    if (remaining == 0 || !moved) {
+      break;
+    }
+  }
+  if (remaining > 0) {
+    // Last resort: the tabu memory itself may be blocking the only valid
+    // moves — clear it and sweep once more unrestricted.
+    tabu.clear();
+    repair_capacity(placement, used, tabu, rng);
+    if (options_.fix_relations) {
+      repair_relations(placement, used, tabu, rng);
+    }
+    remaining = checker_.check(placement).total();
+  }
+  genes = placement.genes();
+  return remaining;
+}
+
+}  // namespace iaas

@@ -1,0 +1,75 @@
+// The tabu-search repair operator of the paper (Figs. 4-6): whenever an
+// NSGA individual violates user constraints, a tabu-guided local search
+// makes it compliant by moving VMs hosted on faulty servers to the
+// nearest valid neighbour server.
+//
+// Faithful to Fig. 5/6 with two practical refinements (DESIGN.md §6):
+//   * VMs are moved off an overloaded server only until it fits again
+//     (Fig. 5 as written empties the whole server);
+//   * "nearest" neighbour is resolved through the spine-leaf fabric — the
+//     candidate list is ordered by hop distance from the current host, so
+//     repairs prefer same-leaf, then same-DC, then remote servers.
+// Relationship groups (Eqs. 9-12) are repaired after capacity: members of
+// a violated group are re-anchored onto a server/datacenter that can
+// legally take them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "model/constraint_checker.h"
+#include "model/instance.h"
+
+namespace iaas {
+
+struct TabuRepairOptions {
+  std::size_t max_passes = 4;   // repair sweeps before giving up
+  std::size_t tabu_tenure = 16; // forbidden (vm, server) return moves
+  bool fix_relations = true;    // repair affinity groups too
+};
+
+class TabuRepair {
+ public:
+  explicit TabuRepair(const Instance& instance, TabuRepairOptions options = {});
+
+  // Repairs genes in place toward feasibility; returns the number of
+  // constraint violations remaining afterwards (0 = fully repaired).
+  std::uint32_t repair(std::vector<std::int32_t>& genes, Rng& rng);
+
+  [[nodiscard]] const TabuRepairOptions& options() const { return options_; }
+
+ private:
+  // findNeighbour (Fig. 6): the first server, by fabric distance from the
+  // current host, where VM k is a valid allocation and the move is not
+  // tabu; returns kRejected-like -1 when none exists.
+  std::int32_t find_neighbour(const Placement& placement,
+                              const Matrix<double>& used, std::size_t k,
+                              const class TabuList& tabu) const;
+
+  void move_vm(Placement& placement, Matrix<double>& used, std::size_t k,
+               std::int32_t to) const;
+
+  // Move a whole VM group onto `target` if its aggregate demand fits
+  // (atomic relocation — required for same-server groups, whose members
+  // cannot legally move one at a time).  Returns true when members moved.
+  bool relocate_group(Placement& placement, Matrix<double>& used,
+                      const std::vector<std::uint32_t>& vms,
+                      std::int32_t target, class TabuList& tabu) const;
+
+  bool repair_capacity(Placement& placement, Matrix<double>& used,
+                       class TabuList& tabu, Rng& rng) const;
+  bool repair_relations(Placement& placement, Matrix<double>& used,
+                        class TabuList& tabu, Rng& rng) const;
+
+  const Instance* instance_;
+  TabuRepairOptions options_;
+  ConstraintChecker checker_;
+  // Candidate server ordering per source server (by fabric hop distance),
+  // built lazily and cached: the heart of the "nearest neighbour" scan.
+  mutable std::vector<std::vector<std::uint32_t>> neighbour_order_;
+  const std::vector<std::uint32_t>& neighbours_of(std::size_t server) const;
+};
+
+}  // namespace iaas

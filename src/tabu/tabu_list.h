@@ -1,0 +1,53 @@
+// Fixed-tenure tabu memory over (vm, server) moves (Glover's tabu search,
+// the paper's [29]).  An entry forbids moving a VM back onto a server it
+// recently left, which is what prevents the repair operator from cycling.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+namespace iaas {
+
+class TabuList {
+ public:
+  explicit TabuList(std::size_t tenure) : tenure_(tenure) {}
+
+  void forbid(std::uint32_t vm, std::int32_t server) {
+    if (tenure_ == 0) {
+      return;
+    }
+    const std::uint64_t k = key(vm, server);
+    if (entries_.insert(k).second) {
+      order_.push_back(k);
+      if (order_.size() > tenure_) {
+        entries_.erase(order_.front());
+        order_.pop_front();
+      }
+    }
+  }
+
+  [[nodiscard]] bool is_tabu(std::uint32_t vm, std::int32_t server) const {
+    return entries_.contains(key(vm, server));
+  }
+
+  void clear() {
+    entries_.clear();
+    order_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] std::size_t tenure() const { return tenure_; }
+
+ private:
+  static std::uint64_t key(std::uint32_t vm, std::int32_t server) {
+    return (static_cast<std::uint64_t>(vm) << 32) |
+           static_cast<std::uint32_t>(server);
+  }
+
+  std::size_t tenure_;
+  std::unordered_set<std::uint64_t> entries_;
+  std::deque<std::uint64_t> order_;
+};
+
+}  // namespace iaas

@@ -1,0 +1,117 @@
+#include "tabu/tabu_search.h"
+
+#include <limits>
+
+#include "common/expect.h"
+#include "model/constraint_checker.h"
+#include "tabu/tabu_list.h"
+
+namespace iaas {
+
+TabuSearch::TabuSearch(const Instance& instance, TabuSearchOptions options,
+                       ObjectiveOptions objective_options)
+    : instance_(&instance),
+      options_(options),
+      objective_options_(objective_options) {}
+
+TabuSearchResult TabuSearch::improve(const Placement& start, Rng& rng) {
+  const Instance& inst = *instance_;
+  IAAS_EXPECT(start.vm_count() == inst.n(),
+              "placement size mismatch with instance");
+
+  Evaluator evaluator(inst, objective_options_);
+  ConstraintChecker checker(inst);
+  TabuList tabu(options_.tenure);
+
+  Placement current = start;
+  Matrix<double> used;
+  checker.compute_used(current, used);
+  ObjectiveVector current_obj = evaluator.objectives(current);
+
+  TabuSearchResult result;
+  result.best = current;
+  result.best_objectives = current_obj;
+
+  std::size_t stall = 0;
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    ++result.iterations;
+
+    // Sample candidate relocations; keep the best admissible one.
+    double best_move_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_vm = 0;
+    std::int32_t best_target = Placement::kRejected;
+    ObjectiveVector best_move_obj;
+
+    for (std::size_t s = 0; s < options_.neighbourhood_samples; ++s) {
+      const std::size_t k = rng.uniform_index(inst.n());
+      if (!current.is_assigned(k)) {
+        continue;
+      }
+      const auto j =
+          static_cast<std::int32_t>(rng.uniform_index(inst.m()));
+      if (j == current.server_of(k)) {
+        continue;
+      }
+      if (!checker.is_valid_allocation(current, used,
+                                       k, static_cast<std::size_t>(j))) {
+        continue;
+      }
+      // Trial evaluation (full objective; the aggregate is the guide).
+      const std::int32_t old = current.server_of(k);
+      current.assign(k, j);
+      const ObjectiveVector trial = evaluator.objectives(current);
+      current.assign(k, old);
+
+      const bool is_tabu = tabu.is_tabu(static_cast<std::uint32_t>(k), j);
+      const bool aspires =
+          options_.aspiration &&
+          trial.aggregate() < result.best_objectives.aggregate();
+      if (is_tabu && !aspires) {
+        continue;
+      }
+      if (trial.aggregate() < best_move_cost) {
+        best_move_cost = trial.aggregate();
+        best_vm = k;
+        best_target = j;
+        best_move_obj = trial;
+      }
+    }
+
+    if (best_target == Placement::kRejected) {
+      ++stall;
+      if (stall >= options_.stall_limit) {
+        break;
+      }
+      continue;
+    }
+
+    // Apply the move (tabu search accepts the best admissible move even
+    // when it worsens the incumbent — that is how it escapes local
+    // optima).
+    const std::int32_t from = current.server_of(best_vm);
+    const VmRequest& vm = inst.requests.vms[best_vm];
+    for (std::size_t l = 0; l < inst.h(); ++l) {
+      used(static_cast<std::size_t>(from), l) -= vm.demand[l];
+      used(static_cast<std::size_t>(best_target), l) += vm.demand[l];
+    }
+    current.assign(best_vm, best_target);
+    current_obj = best_move_obj;
+    tabu.forbid(static_cast<std::uint32_t>(best_vm), from);
+
+    if (current_obj.aggregate() <
+        result.best_objectives.aggregate() - 1e-12) {
+      result.best = current;
+      result.best_objectives = current_obj;
+      ++result.improving_moves;
+      stall = 0;
+    } else {
+      ++stall;
+      if (stall >= options_.stall_limit) {
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace iaas

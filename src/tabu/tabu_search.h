@@ -1,0 +1,52 @@
+// General tabu-search improvement over feasible placements (Glover [29]).
+//
+// The paper uses tabu search purely as a repair operator inside NSGA-III;
+// this standalone search is the library's extension of the same machinery
+// into a post-optimisation step: starting from a feasible placement it
+// explores single-VM relocation moves, keeps the best feasible incumbent
+// by aggregate cost (Eq. 15), forbids reversing recent moves, and applies
+// the standard aspiration criterion (a tabu move is allowed when it beats
+// the incumbent).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "model/instance.h"
+#include "model/objectives.h"
+#include "model/placement.h"
+
+namespace iaas {
+
+struct TabuSearchOptions {
+  std::size_t max_iterations = 200;
+  std::size_t tenure = 32;
+  std::size_t neighbourhood_samples = 32;  // candidate moves per iteration
+  std::size_t stall_limit = 50;            // stop after this many
+                                           // non-improving iterations
+  bool aspiration = true;
+};
+
+struct TabuSearchResult {
+  Placement best;
+  ObjectiveVector best_objectives;
+  std::size_t iterations = 0;
+  std::size_t improving_moves = 0;
+};
+
+class TabuSearch {
+ public:
+  TabuSearch(const Instance& instance, TabuSearchOptions options = {},
+             ObjectiveOptions objective_options = {});
+
+  // Improve `start` (expected feasible; infeasible starts are repaired by
+  // rejecting nothing — moves that violate constraints are never taken).
+  TabuSearchResult improve(const Placement& start, Rng& rng);
+
+ private:
+  const Instance* instance_;
+  TabuSearchOptions options_;
+  ObjectiveOptions objective_options_;
+};
+
+}  // namespace iaas

@@ -1,0 +1,251 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "model/constraint_checker.h"
+
+namespace iaas {
+
+const std::vector<ServerClassParams>& default_server_classes() {
+  // cpu, ram, disk, opex, usage, weight.  Opex grows with machine size
+  // (power + floor space); usage cost per VM is roughly flat.
+  static const std::vector<ServerClassParams> classes = {
+      {16.0, 64.0, 1000.0, 10.0, 1.0, 0.40},   // small 1U
+      {32.0, 128.0, 2000.0, 16.0, 1.2, 0.40},  // medium 2U
+      {64.0, 256.0, 4000.0, 28.0, 1.5, 0.20},  // large 4U
+  };
+  return classes;
+}
+
+const std::vector<VmFlavorParams>& default_vm_flavors() {
+  // OpenStack-like flavors; weights skew small, as real fleets do.
+  static const std::vector<VmFlavorParams> flavors = {
+      {1.0, 2.0, 20.0, 0.30},    // tiny
+      {2.0, 4.0, 40.0, 0.30},    // small
+      {4.0, 8.0, 80.0, 0.20},    // medium
+      {8.0, 16.0, 160.0, 0.15},  // large
+      {16.0, 32.0, 320.0, 0.05}, // xlarge
+  };
+  return flavors;
+}
+
+namespace {
+
+// Weighted index draw over a set of {.., weight} records.
+template <typename T>
+std::size_t draw_weighted(const std::vector<T>& items, Rng& rng) {
+  double total = 0.0;
+  for (const T& item : items) {
+    total += item.weight;
+  }
+  double x = rng.uniform_real(0.0, total);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    x -= items[i].weight;
+    if (x <= 0.0) {
+      return i;
+    }
+  }
+  return items.size() - 1;
+}
+
+double jittered(double base, double jitter, Rng& rng) {
+  return base * rng.uniform_real(1.0 - jitter, 1.0 + jitter);
+}
+
+}  // namespace
+
+ScenarioGenerator::ScenarioGenerator(
+    ScenarioConfig config, std::vector<ServerClassParams> server_classes,
+    std::vector<VmFlavorParams> vm_flavors)
+    : config_(config),
+      server_classes_(std::move(server_classes)),
+      vm_flavors_(std::move(vm_flavors)) {
+  IAAS_EXPECT(config_.datacenters > 0, "need at least one datacenter");
+  IAAS_EXPECT(config_.total_servers > 0, "need at least one server");
+  IAAS_EXPECT(config_.attribute_count >= 3,
+              "canonical cpu/ram/disk attributes are required");
+  IAAS_EXPECT(!server_classes_.empty() && !vm_flavors_.empty(),
+              "need server classes and VM flavors");
+  IAAS_EXPECT(config_.group_size_min >= 2 &&
+                  config_.group_size_max >= config_.group_size_min,
+              "relationship groups need at least two members");
+}
+
+FabricConfig ScenarioGenerator::fabric_config() const {
+  FabricConfig fc;
+  fc.datacenters = config_.datacenters;
+  fc.servers_per_leaf = config_.servers_per_leaf;
+  const std::uint32_t per_dc =
+      (config_.total_servers + config_.datacenters - 1) / config_.datacenters;
+  fc.leaves_per_dc =
+      std::max(1u, (per_dc + fc.servers_per_leaf - 1) / fc.servers_per_leaf);
+  fc.spines_per_dc = std::max(2u, fc.leaves_per_dc / 4);
+  fc.cores = 2;
+  return fc;
+}
+
+Infrastructure ScenarioGenerator::generate_infrastructure(
+    std::uint64_t seed) const {
+  Rng rng(seed ^ 0x696e667261ULL);  // independent of the request stream
+  const FabricConfig fc = fabric_config();
+  const Fabric fabric(fc);
+  const std::size_t m = fabric.server_count();
+  const std::size_t h = config_.attribute_count;
+
+  std::vector<Server> servers(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    Server& s = servers[j];
+    s.datacenter = fabric.datacenter_of_server(static_cast<std::uint32_t>(j));
+    const ServerClassParams& cls =
+        server_classes_[draw_weighted(server_classes_, rng)];
+    s.capacity.resize(h);
+    s.factor.resize(h);
+    s.max_load.resize(h);
+    s.max_qos.resize(h);
+    const std::array<double, 3> base = {cls.cpu_cores, cls.ram_gb,
+                                        cls.disk_gb};
+    for (std::size_t l = 0; l < h; ++l) {
+      const double b = l < 3 ? base[l] : base[0] * 4.0;  // extra attrs scale
+      s.capacity[l] = jittered(b, config_.capacity_jitter, rng);
+      s.factor[l] = rng.uniform_real(config_.factor_min, config_.factor_max);
+      s.max_load[l] =
+          rng.uniform_real(config_.max_load_min, config_.max_load_max);
+      s.max_qos[l] = rng.uniform_real(config_.max_qos_min, config_.max_qos_max);
+    }
+    s.opex = jittered(cls.opex, 0.15, rng);
+    s.usage_cost = jittered(cls.usage_cost, 0.15, rng);
+  }
+  return Infrastructure(fc, std::move(servers));
+}
+
+RequestSet ScenarioGenerator::generate_requests(const Infrastructure& infra,
+                                                std::uint32_t count,
+                                                std::uint64_t seed) const {
+  Rng rng(seed ^ 0x72657173ULL);
+  const std::size_t h = config_.attribute_count;
+
+  RequestSet requests;
+  requests.vms.resize(count);
+  for (VmRequest& vm : requests.vms) {
+    const VmFlavorParams& flavor = vm_flavors_[draw_weighted(vm_flavors_, rng)];
+    vm.demand.resize(h);
+    const std::array<double, 3> base = {flavor.cpu_cores, flavor.ram_gb,
+                                        flavor.disk_gb};
+    for (std::size_t l = 0; l < h; ++l) {
+      const double b = l < 3 ? base[l] : base[0];
+      vm.demand[l] = jittered(b, 0.05, rng);
+    }
+    vm.qos_guarantee =
+        rng.uniform_real(config_.qos_guarantee_min, config_.qos_guarantee_max);
+    vm.downtime_cost =
+        rng.uniform_real(config_.downtime_cost_min, config_.downtime_cost_max);
+    vm.migration_cost = rng.uniform_real(config_.migration_cost_min,
+                                         config_.migration_cost_max);
+  }
+
+  // Relationship groups (each VM in at most one group).
+  std::vector<std::uint32_t> pool(count);
+  std::iota(pool.begin(), pool.end(), 0u);
+  rng.shuffle(pool);
+  const auto constrained = static_cast<std::size_t>(
+      config_.constrained_fraction * static_cast<double>(count));
+  std::size_t cursor = 0;
+
+  // Largest effective capacity per attribute, to keep same-server groups
+  // satisfiable by construction.
+  std::vector<double> max_eff(h, 0.0);
+  for (std::size_t j = 0; j < infra.server_count(); ++j) {
+    for (std::size_t l = 0; l < h; ++l) {
+      max_eff[l] =
+          std::max(max_eff[l], infra.server(j).effective_capacity(l));
+    }
+  }
+
+  struct KindWeight {
+    RelationKind kind;
+    double weight;
+  };
+  const std::vector<KindWeight> kind_weights = {
+      {RelationKind::kSameDatacenter, config_.weight_same_datacenter},
+      {RelationKind::kSameServer, config_.weight_same_server},
+      {RelationKind::kDifferentServers, config_.weight_different_servers},
+      {RelationKind::kDifferentDatacenters,
+       config_.weight_different_datacenters},
+  };
+
+  while (cursor + config_.group_size_min <= constrained) {
+    const auto want = static_cast<std::uint32_t>(rng.uniform_int(
+        config_.group_size_min, config_.group_size_max));
+    const std::size_t size = std::min<std::size_t>(want, constrained - cursor);
+    if (size < config_.group_size_min) {
+      break;
+    }
+    PlacementConstraint c;
+    c.kind = kind_weights[draw_weighted(kind_weights, rng)].kind;
+    c.vms.assign(pool.begin() + static_cast<std::ptrdiff_t>(cursor),
+                 pool.begin() + static_cast<std::ptrdiff_t>(cursor + size));
+    cursor += size;
+
+    // Keep generated scenarios satisfiable by construction:
+    //  * a different-datacenters group cannot exceed g members;
+    //  * a same-server group must fit the largest server.
+    if (c.kind == RelationKind::kDifferentDatacenters &&
+        c.vms.size() > infra.datacenter_count()) {
+      c.kind = RelationKind::kDifferentServers;
+    }
+    if (c.kind == RelationKind::kSameServer) {
+      for (std::size_t l = 0; l < h; ++l) {
+        double sum = 0.0;
+        for (std::uint32_t k : c.vms) {
+          sum += requests.vms[k].demand[l];
+        }
+        if (sum > max_eff[l]) {
+          c.kind = RelationKind::kSameDatacenter;
+          break;
+        }
+      }
+    }
+    requests.constraints.push_back(std::move(c));
+  }
+  return requests;
+}
+
+Instance ScenarioGenerator::generate(std::uint64_t seed) const {
+  Infrastructure infra = generate_infrastructure(seed);
+  RequestSet requests = generate_requests(infra, config_.vms, seed);
+  Instance instance(std::move(infra), std::move(requests));
+
+  // Previous placement (for the migration objective).
+  if (config_.preplaced_fraction > 0.0) {
+    Rng rng(seed ^ 0x70726576ULL);
+    ConstraintChecker checker(instance);
+    Matrix<double> used(instance.m(), instance.h());
+    Placement prev(instance.n());
+    const auto preplaced = static_cast<std::size_t>(
+        config_.preplaced_fraction * static_cast<double>(instance.n()));
+    for (std::size_t k = 0; k < preplaced; ++k) {
+      // Greedy random feasible placement; skip VMs that do not fit.
+      const std::size_t start = rng.uniform_index(instance.m());
+      for (std::size_t off = 0; off < instance.m(); ++off) {
+        const std::size_t j = (start + off) % instance.m();
+        if (checker.is_valid_allocation(prev, used, k, j)) {
+          prev.assign(k, static_cast<std::int32_t>(j));
+          for (std::size_t l = 0; l < instance.h(); ++l) {
+            used(j, l) += instance.requests.vms[k].demand[l];
+          }
+          break;
+        }
+      }
+    }
+    instance.previous = std::move(prev);
+  }
+
+  return instance;
+}
+
+}  // namespace iaas

@@ -1,0 +1,96 @@
+// Parameterisation of the random scenario generator.
+//
+// The paper evaluates on "randomly generated [conditions, scenarios,
+// requests and infrastructures] with parameter configurations that
+// reflect typical infrastructures sizes and cloud provider practices"
+// (sizes up to 800 servers / 1600 VMs, managed as OpenStack-style blocks).
+// No dataset was published, so every distribution parameter is explicit
+// here and all draws flow from one seed (DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+
+namespace iaas {
+
+// Hardware classes "typical" of provider fleets; capacities are drawn
+// around these base values with multiplicative noise.
+struct ServerClassParams {
+  double cpu_cores;
+  double ram_gb;
+  double disk_gb;
+  double opex;        // E_j base, monetary units per allocation window
+  double usage_cost;  // U_j base, per hosted VM per window
+  double weight;      // sampling weight within the fleet
+};
+
+// VM flavors, OpenStack-like t-shirt sizes.
+struct VmFlavorParams {
+  double cpu_cores;
+  double ram_gb;
+  double disk_gb;
+  double weight;
+};
+
+struct ScenarioConfig {
+  // --- infrastructure ---
+  std::uint32_t datacenters = 2;
+  std::uint32_t total_servers = 64;   // rounded up to full leaves
+  std::uint32_t servers_per_leaf = 8;
+  std::uint32_t attribute_count = 3;  // cpu / ram / disk
+
+  // Virtual-to-physical factor F_jl (Eq. 3): fraction of raw capacity
+  // usable by consumer resources after virtualisation overhead.
+  double factor_min = 0.85;
+  double factor_max = 0.95;
+
+  // QoS knee L^M_jl and ceiling Q^M_jl (Eq. 8).
+  double max_load_min = 0.70;
+  double max_load_max = 0.90;
+  double max_qos_min = 0.95;
+  double max_qos_max = 0.99;
+
+  // Multiplicative capacity noise around the class base value.
+  double capacity_jitter = 0.10;
+
+  // --- requests ---
+  std::uint32_t vms = 128;
+
+  // QoS guarantee C^Q_k requested by consumers.
+  double qos_guarantee_min = 0.80;
+  double qos_guarantee_max = 0.94;
+
+  // SLA penalty C^U_k and migration cost M_k ranges.
+  double downtime_cost_min = 5.0;
+  double downtime_cost_max = 50.0;
+  double migration_cost_min = 1.0;
+  double migration_cost_max = 10.0;
+
+  // --- affinity / anti-affinity groups ---
+  // Fraction of VMs that participate in a relationship group; each VM
+  // joins at most one group (prevents contradictory combinations).
+  double constrained_fraction = 0.30;
+  std::uint32_t group_size_min = 2;
+  std::uint32_t group_size_max = 4;
+  // Relative frequencies of the four relationship kinds (Eqs. 9-12).
+  double weight_same_datacenter = 0.30;
+  double weight_same_server = 0.20;
+  double weight_different_servers = 0.35;
+  double weight_different_datacenters = 0.15;
+
+  // --- previous placement (migration term) ---
+  // Fraction of VMs that were already running in the previous window (and
+  // hence may incur migration cost when moved).  0 = all requests fresh.
+  double preplaced_fraction = 0.0;
+
+  // Convenience: paper-style scenario of `servers` hosts and 2x VMs.
+  static ScenarioConfig paper_scale(std::uint32_t servers,
+                                    std::uint32_t datacenters = 2) {
+    ScenarioConfig cfg;
+    cfg.total_servers = servers;
+    cfg.datacenters = datacenters;
+    cfg.vms = servers * 2;  // paper: 800 servers / 1600 VMs
+    return cfg;
+  }
+};
+
+}  // namespace iaas

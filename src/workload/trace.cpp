@@ -1,0 +1,67 @@
+#include "workload/trace.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/expect.h"
+#include "common/rng.h"
+
+namespace iaas {
+namespace {
+
+std::size_t poisson(double mean, Rng& rng) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  const double limit = std::exp(-mean);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.next_double();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace
+
+ArrivalTrace::ArrivalTrace(const TraceConfig& config, std::uint64_t seed)
+    : config_(config) {
+  IAAS_EXPECT(config.windows > 0, "trace needs at least one window");
+  IAAS_EXPECT(config.period > 0.0, "diurnal period must be positive");
+  IAAS_EXPECT(config.peak_rate >= config.trough_rate,
+              "peak rate below trough rate");
+  Rng rng(seed ^ 0x7472616365ULL);
+  counts_.reserve(config.windows);
+  bursts_.reserve(config.windows);
+  for (std::size_t w = 0; w < config.windows; ++w) {
+    double mean = expected_rate(w);
+    const bool burst = rng.bernoulli(config.burst_probability);
+    if (burst) {
+      mean *= config.burst_multiplier;
+    }
+    bursts_.push_back(burst);
+    counts_.push_back(poisson(mean, rng));
+  }
+}
+
+double ArrivalTrace::expected_rate(std::size_t window) const {
+  // Raised cosine peaking at peak_window: trough_rate at the antipode,
+  // peak_rate at the peak.
+  const double phase = 2.0 * std::numbers::pi *
+                       (static_cast<double>(window) - config_.peak_window) /
+                       config_.period;
+  const double shape = 0.5 * (1.0 + std::cos(phase));
+  return config_.trough_rate +
+         (config_.peak_rate - config_.trough_rate) * shape;
+}
+
+std::size_t ArrivalTrace::total_arrivals() const {
+  std::size_t total = 0;
+  for (std::size_t c : counts_) {
+    total += c;
+  }
+  return total;
+}
+
+}  // namespace iaas

@@ -1,0 +1,49 @@
+// Arrival-trace models for the time-window simulator: real request
+// streams are not flat Poisson — they have a diurnal rhythm and bursts.
+// An ArrivalTrace pre-computes per-window arrival counts from a
+// parameterised day curve plus random bursts; the simulator consumes it
+// through SimConfig::arrival_schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace iaas {
+
+struct TraceConfig {
+  std::size_t windows = 24;
+  double trough_rate = 8.0;   // mean arrivals per window at the quietest hour
+  double peak_rate = 32.0;    // mean at the busiest hour
+  double peak_window = 14.0;  // where the diurnal peak sits (window units)
+  double period = 24.0;       // windows per diurnal cycle
+  double burst_probability = 0.05;  // chance a window is a traffic burst
+  double burst_multiplier = 3.0;    // burst scales the window's mean
+};
+
+class ArrivalTrace {
+ public:
+  ArrivalTrace(const TraceConfig& config, std::uint64_t seed);
+
+  // Deterministic diurnal mean for a window (before burst/noise).
+  [[nodiscard]] double expected_rate(std::size_t window) const;
+
+  // Sampled arrivals for each window (Poisson around the diurnal mean,
+  // bursts applied).
+  [[nodiscard]] const std::vector<std::size_t>& counts() const {
+    return counts_;
+  }
+  [[nodiscard]] std::size_t arrivals(std::size_t window) const {
+    return counts_[window % counts_.size()];
+  }
+  [[nodiscard]] std::size_t total_arrivals() const;
+  [[nodiscard]] const std::vector<bool>& burst_windows() const {
+    return bursts_;
+  }
+
+ private:
+  TraceConfig config_;
+  std::vector<std::size_t> counts_;
+  std::vector<bool> bursts_;
+};
+
+}  // namespace iaas

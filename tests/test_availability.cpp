@@ -1,0 +1,152 @@
+// Whole-service availability analysis over placements.
+#include "model/availability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/test_util.h"
+
+namespace iaas {
+namespace {
+
+using test::make_instance;
+
+TEST(Availability, SingleServerServiceFailsTogether) {
+  const Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  Placement p(2);
+  p.assign(0, 0);
+  p.assign(1, 0);  // co-located
+  const ServiceAvailability a =
+      service_availability(inst, p, {0, 1}, 0.1);
+  EXPECT_EQ(a.distinct_servers, 1u);
+  EXPECT_NEAR(a.all_up_probability, 0.9, 1e-12);   // one fault domain
+  EXPECT_NEAR(a.any_up_probability, 0.9, 1e-12);   // same domain
+}
+
+TEST(Availability, SpreadingImprovesAnyUp) {
+  const Instance inst = make_instance(
+      2, 2, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  Placement spread(2);
+  spread.assign(0, 0);
+  spread.assign(1, 2);  // different DCs
+  const ServiceAvailability a =
+      service_availability(inst, spread, {0, 1}, 0.1);
+  EXPECT_EQ(a.distinct_servers, 2u);
+  EXPECT_EQ(a.distinct_datacenters, 2u);
+  EXPECT_NEAR(a.all_up_probability, 0.81, 1e-12);  // both must survive
+  EXPECT_NEAR(a.any_up_probability, 0.99, 1e-12);  // replica semantics
+}
+
+TEST(Availability, RejectedMemberKillsAllUp) {
+  const Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  Placement p(2);
+  p.assign(0, 0);  // member 1 rejected
+  const ServiceAvailability a =
+      service_availability(inst, p, {0, 1}, 0.1);
+  EXPECT_DOUBLE_EQ(a.all_up_probability, 0.0);
+  EXPECT_NEAR(a.any_up_probability, 0.9, 1e-12);
+}
+
+TEST(Availability, AllRejectedService) {
+  const Instance inst =
+      make_instance(1, 1, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}});
+  const ServiceAvailability a =
+      service_availability(inst, Placement(1), {0}, 0.1);
+  EXPECT_DOUBLE_EQ(a.all_up_probability, 0.0);
+  EXPECT_DOUBLE_EQ(a.any_up_probability, 0.0);
+  EXPECT_EQ(a.distinct_servers, 0u);
+}
+
+TEST(Availability, ZeroFailureProbability) {
+  const Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  Placement p(2);
+  p.assign(0, 0);
+  p.assign(1, 1);
+  const ServiceAvailability a =
+      service_availability(inst, p, {0, 1}, 0.0);
+  EXPECT_DOUBLE_EQ(a.all_up_probability, 1.0);
+  EXPECT_DOUBLE_EQ(a.any_up_probability, 1.0);
+}
+
+TEST(Availability, PathRedundancyReflectsFabric) {
+  // Two servers on the same leaf: redundancy 1; across leaves: #spines.
+  FabricConfig fc;
+  fc.datacenters = 1;
+  fc.leaves_per_dc = 2;
+  fc.servers_per_leaf = 2;
+  fc.spines_per_dc = 3;
+  std::vector<Server> servers;
+  for (int i = 0; i < 4; ++i) {
+    servers.push_back(test::make_server(0, {10.0, 10.0, 10.0}));
+  }
+  RequestSet requests;
+  requests.vms = {test::make_vm({1.0, 1.0, 1.0}),
+                  test::make_vm({1.0, 1.0, 1.0})};
+  Instance inst(Infrastructure(fc, std::move(servers)),
+                std::move(requests));
+
+  Placement same_leaf(2);
+  same_leaf.assign(0, 0);
+  same_leaf.assign(1, 1);
+  EXPECT_EQ(service_availability(inst, same_leaf, {0, 1}, 0.1)
+                .min_path_redundancy,
+            1u);
+
+  Placement cross_leaf(2);
+  cross_leaf.assign(0, 0);
+  cross_leaf.assign(1, 2);
+  EXPECT_EQ(service_availability(inst, cross_leaf, {0, 1}, 0.1)
+                .min_path_redundancy,
+            3u);
+}
+
+TEST(Availability, PlacementReportPerGroup) {
+  const Instance inst = make_instance(
+      2, 2, {10.0, 10.0, 10.0},
+      {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}},
+      {{RelationKind::kSameServer, {0, 1}},
+       {RelationKind::kDifferentDatacenters, {2, 3}}});
+  Placement p(4);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  p.assign(2, 1);
+  p.assign(3, 2);
+  const auto report = placement_availability(inst, p, 0.05);
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].distinct_servers, 1u);
+  EXPECT_EQ(report[1].distinct_datacenters, 2u);
+  EXPECT_GT(report[1].any_up_probability, report[0].any_up_probability);
+}
+
+TEST(Availability, AntiAffinityBeatsAffinityForReplicas) {
+  // Quantifies the consumer's interest in anti-affinity: replicas split
+  // across datacenters survive more often.
+  const Instance inst = make_instance(
+      2, 4, {10.0, 10.0, 10.0},
+      {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  Placement together(3);
+  together.assign(0, 0);
+  together.assign(1, 0);
+  together.assign(2, 0);
+  Placement apart(3);
+  apart.assign(0, 0);
+  apart.assign(1, 3);
+  apart.assign(2, 5);
+  const double p_fail = 0.2;
+  const double together_up =
+      service_availability(inst, together, {0, 1, 2}, p_fail)
+          .any_up_probability;
+  const double apart_up =
+      service_availability(inst, apart, {0, 1, 2}, p_fail)
+          .any_up_probability;
+  EXPECT_NEAR(together_up, 0.8, 1e-12);
+  EXPECT_NEAR(apart_up, 1.0 - std::pow(p_fail, 3), 1e-12);
+  EXPECT_GT(apart_up, together_up);
+}
+
+}  // namespace
+}  // namespace iaas

@@ -1,0 +1,132 @@
+// Extended baselines: Filtering (Table II's fourth family), First-Fit
+// Decreasing and Best-Fit.
+#include <gtest/gtest.h>
+
+#include "algo/filtering.h"
+#include "algo/heuristics.h"
+#include "algo/registry.h"
+#include "model/constraint_checker.h"
+#include "tests/test_util.h"
+
+namespace iaas {
+namespace {
+
+using test::make_instance;
+using test::make_random_instance;
+
+TEST(Filtering, BalancesLoadAcrossServers) {
+  const Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0}, {{4.0, 4.0, 4.0}, {4.0, 4.0, 4.0}});
+  FilteringAllocator filtering;
+  const AllocationResult r = filtering.allocate(inst, 1);
+  EXPECT_EQ(r.rejected, 0u);
+  // Least-loaded weighing: the two equal VMs land on different servers.
+  EXPECT_NE(r.placement.server_of(0), r.placement.server_of(1));
+}
+
+TEST(Filtering, IgnoresRelationshipsInRawOutput) {
+  // Same-server pair: the filter pipeline cannot see it, so with the
+  // load-balancing weigher the raw output must split the pair.
+  const Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0}, {{4.0, 4.0, 4.0}, {4.0, 4.0, 4.0}},
+      {{RelationKind::kSameServer, {0, 1}}});
+  FilteringAllocator filtering;
+  const AllocationResult r = filtering.allocate(inst, 1);
+  EXPECT_EQ(r.raw_violations.relation_violations, 1u);  // Table II: "NO"
+  // Sanitization repairs it by rejection; deployable result is feasible.
+  EXPECT_TRUE(ConstraintChecker(inst).check(r.placement).feasible());
+  EXPECT_EQ(r.rejected, 1u);
+}
+
+TEST(Filtering, NeverOverloadsCapacity) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Instance inst = make_random_instance(seed, 8, 64);
+    FilteringAllocator filtering;
+    const AllocationResult r = filtering.allocate(inst, seed);
+    EXPECT_EQ(r.raw_violations.capacity_violations, 0u);
+  }
+}
+
+TEST(FirstFitDecreasing, PlacesLargestFirst) {
+  // One big VM fits only before the smalls fill the bin.
+  const Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0},
+      {{3.0, 3.0, 3.0}, {9.0, 9.0, 9.0}, {3.0, 3.0, 3.0}});
+  FirstFitDecreasingAllocator ffd;
+  const AllocationResult r = ffd.allocate(inst, 1);
+  EXPECT_EQ(r.rejected, 0u);
+  // The 9-unit VM occupies a server alone; smalls share the other.
+  const std::int32_t big = r.placement.server_of(1);
+  EXPECT_NE(r.placement.server_of(0), big);
+  EXPECT_NE(r.placement.server_of(2), big);
+}
+
+TEST(FirstFitDecreasing, RespectsRelations) {
+  const Instance inst = make_instance(
+      2, 2, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}},
+      {{RelationKind::kDifferentDatacenters, {0, 1}}});
+  FirstFitDecreasingAllocator ffd;
+  const AllocationResult r = ffd.allocate(inst, 1);
+  EXPECT_EQ(r.raw_violations.total(), 0u);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_NE(inst.infra.datacenter_of(
+                static_cast<std::size_t>(r.placement.server_of(0))),
+            inst.infra.datacenter_of(
+                static_cast<std::size_t>(r.placement.server_of(1))));
+}
+
+TEST(BestFit, ConsolidatesTightly) {
+  // Server 0 partially filled by VM 0; Best-Fit should co-locate VM 1
+  // there (tightest fit) rather than open server 1.
+  const Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0}, {{6.0, 6.0, 6.0}, {3.0, 3.0, 3.0}});
+  BestFitAllocator bf;
+  const AllocationResult r = bf.allocate(inst, 1);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_EQ(r.placement.server_of(0), r.placement.server_of(1));
+}
+
+TEST(BestFit, UsesFewerServersThanFiltering) {
+  const Instance inst = make_random_instance(21, 16, 64);
+  BestFitAllocator bf;
+  FilteringAllocator filtering;
+  auto used_servers = [&](const AllocationResult& r) {
+    std::vector<bool> used(inst.m(), false);
+    for (std::size_t k = 0; k < inst.n(); ++k) {
+      if (r.placement.is_assigned(k)) {
+        used[static_cast<std::size_t>(r.placement.server_of(k))] = true;
+      }
+    }
+    return std::count(used.begin(), used.end(), true);
+  };
+  EXPECT_LE(used_servers(bf.allocate(inst, 1)),
+            used_servers(filtering.allocate(inst, 1)));
+}
+
+TEST(ExtendedRegistry, ThreeExtraAlgorithmsConstructible) {
+  EXPECT_EQ(extended_algorithms().size(), 3u);
+  for (AlgorithmId id : extended_algorithms()) {
+    const auto allocator = make_allocator(id);
+    ASSERT_NE(allocator, nullptr);
+    EXPECT_EQ(allocator->name(), algorithm_name(id));
+  }
+}
+
+class ExtendedContract : public ::testing::TestWithParam<AlgorithmId> {};
+
+TEST_P(ExtendedContract, SanitizedFeasibleAndConsistent) {
+  const Instance inst = make_random_instance(31, 16, 48);
+  const auto allocator = make_allocator(GetParam());
+  const AllocationResult r = allocator->allocate(inst, 3);
+  EXPECT_TRUE(ConstraintChecker(inst).check(r.placement).feasible());
+  EXPECT_EQ(r.rejected, r.placement.rejected_count());
+  EXPECT_EQ(r.vm_count, inst.n());
+}
+
+INSTANTIATE_TEST_SUITE_P(Extras, ExtendedContract,
+                         ::testing::Values(AlgorithmId::kFiltering,
+                                           AlgorithmId::kFirstFitDecreasing,
+                                           AlgorithmId::kBestFit));
+
+}  // namespace
+}  // namespace iaas

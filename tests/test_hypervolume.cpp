@@ -1,0 +1,118 @@
+// Exact 3D hypervolume (minimisation) — known values and invariants.
+#include "ea/hypervolume.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace iaas {
+namespace {
+
+constexpr ObjArray kRef = {1.0, 1.0, 1.0};
+
+TEST(Hypervolume, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume(std::vector<ObjArray>{}, kRef), 0.0);
+}
+
+TEST(Hypervolume, SinglePointBoxVolume) {
+  const std::vector<ObjArray> pts = {{0.25, 0.5, 0.75}};
+  EXPECT_NEAR(hypervolume(pts, kRef), 0.75 * 0.5 * 0.25, 1e-12);
+}
+
+TEST(Hypervolume, OriginDominatesWholeBox) {
+  const std::vector<ObjArray> pts = {{0.0, 0.0, 0.0}};
+  EXPECT_NEAR(hypervolume(pts, {2.0, 3.0, 4.0}), 24.0, 1e-12);
+}
+
+TEST(Hypervolume, PointOutsideReferenceIgnored) {
+  const std::vector<ObjArray> pts = {{1.5, 0.1, 0.1}};
+  EXPECT_DOUBLE_EQ(hypervolume(pts, kRef), 0.0);
+}
+
+TEST(Hypervolume, DominatedPointAddsNothing) {
+  const std::vector<ObjArray> base = {{0.2, 0.2, 0.2}};
+  const std::vector<ObjArray> with_dominated = {{0.2, 0.2, 0.2},
+                                                {0.5, 0.5, 0.5}};
+  EXPECT_NEAR(hypervolume(base, kRef), hypervolume(with_dominated, kRef),
+              1e-12);
+}
+
+TEST(Hypervolume, TwoIncomparablePointsUnionVolume) {
+  // A = (.2,.6,.5), B = (.6,.2,.5): union at z>=0.5 of two rectangles.
+  // vol = [ (1-.2)(1-.6) + (1-.6)(1-.2) - (1-.6)(1-.6) ] * (1-.5)
+  const std::vector<ObjArray> pts = {{0.2, 0.6, 0.5}, {0.6, 0.2, 0.5}};
+  const double expected = (0.8 * 0.4 + 0.4 * 0.8 - 0.4 * 0.4) * 0.5;
+  EXPECT_NEAR(hypervolume(pts, kRef), expected, 1e-12);
+}
+
+TEST(Hypervolume, LayeredZSlices) {
+  // Deep point at low z plus a broader point at higher z.
+  const std::vector<ObjArray> pts = {{0.5, 0.5, 0.2}, {0.1, 0.1, 0.8}};
+  // Slice z in [0.2, 0.8): only point 1 -> area (0.5)(0.5) = 0.25.
+  // Slice z in [0.8, 1.0): both -> union area = .25 + .81 - .25... compute:
+  //  A1=(1-.5)^2=.25, A2=(1-.1)^2=.81, overlap=(1-.5)^2=.25 -> union .81
+  const double expected = 0.25 * 0.6 + 0.81 * 0.2;
+  EXPECT_NEAR(hypervolume(pts, kRef), expected, 1e-12);
+}
+
+TEST(Hypervolume, MonotoneInAddingPoints) {
+  Rng rng(7);
+  std::vector<ObjArray> pts;
+  double prev = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.next_double(), rng.next_double(), rng.next_double()});
+    const double hv = hypervolume(pts, kRef);
+    EXPECT_GE(hv, prev - 1e-12);
+    EXPECT_LE(hv, 1.0 + 1e-12);
+    prev = hv;
+  }
+}
+
+TEST(Hypervolume, PermutationInvariant) {
+  Rng rng(9);
+  std::vector<ObjArray> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back({rng.next_double(), rng.next_double(), rng.next_double()});
+  }
+  const double hv = hypervolume(pts, kRef);
+  for (int round = 0; round < 5; ++round) {
+    rng.shuffle(pts);
+    EXPECT_NEAR(hypervolume(pts, kRef), hv, 1e-12);
+  }
+}
+
+TEST(Hypervolume, PopulationOverload) {
+  Population front(2);
+  front[0].objectives = {0.5, 0.5, 0.5};
+  front[1].objectives = {0.9, 0.9, 0.9};
+  EXPECT_NEAR(hypervolume(front, kRef), 0.125 + 0.0, 0.01);
+}
+
+// Cross-check against Monte Carlo estimation.
+TEST(Hypervolume, MatchesMonteCarlo) {
+  Rng rng(11);
+  std::vector<ObjArray> pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back({rng.next_double(), rng.next_double(), rng.next_double()});
+  }
+  const double exact = hypervolume(pts, kRef);
+
+  Rng mc(13);
+  const int samples = 200000;
+  int dominated = 0;
+  for (int s = 0; s < samples; ++s) {
+    const ObjArray q = {mc.next_double(), mc.next_double(),
+                        mc.next_double()};
+    for (const ObjArray& p : pts) {
+      if (p[0] <= q[0] && p[1] <= q[1] && p[2] <= q[2]) {
+        ++dominated;
+        break;
+      }
+    }
+  }
+  const double estimate = static_cast<double>(dominated) / samples;
+  EXPECT_NEAR(exact, estimate, 0.01);
+}
+
+}  // namespace
+}  // namespace iaas

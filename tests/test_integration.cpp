@@ -1,0 +1,130 @@
+// End-to-end: the paper's qualitative findings must hold on a generated
+// scenario — the shape checks behind Figs. 7-11 at test scale.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "algo/registry.h"
+#include "model/constraint_checker.h"
+#include "workload/generator.h"
+
+namespace iaas {
+namespace {
+
+SuiteOptions integration_suite() {
+  SuiteOptions suite;
+  suite.ea.nsga.population_size = 28;
+  suite.ea.nsga.max_evaluations = 1400;
+  suite.ea.nsga.reference_divisions = 6;
+  suite.cp.time_limit_seconds = 3.0;
+  suite.cp.max_backtracks = 50000;
+  return suite;
+}
+
+struct SuiteRun {
+  std::map<AlgorithmId, AllocationResult> results;
+};
+
+SuiteRun run_all(const Instance& inst, std::uint64_t seed) {
+  SuiteRun run;
+  const SuiteOptions suite = integration_suite();
+  for (AlgorithmId id : all_algorithms()) {
+    run.results.emplace(id, make_allocator(id, suite)->allocate(inst, seed));
+  }
+  return run;
+}
+
+class IntegrationSuite : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig cfg = ScenarioConfig::paper_scale(32);
+    cfg.constrained_fraction = 0.4;
+    instance_ = new Instance(ScenarioGenerator(cfg).generate(2024));
+    run_ = new SuiteRun(run_all(*instance_, 5));
+  }
+  static void TearDownTestSuite() {
+    delete run_;
+    delete instance_;
+    run_ = nullptr;
+    instance_ = nullptr;
+  }
+
+  static Instance* instance_;
+  static SuiteRun* run_;
+};
+
+Instance* IntegrationSuite::instance_ = nullptr;
+SuiteRun* IntegrationSuite::run_ = nullptr;
+
+TEST_F(IntegrationSuite, EveryAlgorithmProducesDeployablePlacement) {
+  const ConstraintChecker checker(*instance_);
+  for (const auto& [id, result] : run_->results) {
+    EXPECT_TRUE(checker.check(result.placement).feasible())
+        << algorithm_name(id);
+  }
+}
+
+// Fig. 10's shape: only the unmodified EAs generate raw constraint
+// violations; RR, CP and the repaired hybrids never do.
+TEST_F(IntegrationSuite, OnlyUnmodifiedEasViolateConstraints) {
+  EXPECT_EQ(run_->results.at(AlgorithmId::kRoundRobin).raw_violations.total(),
+            0u);
+  EXPECT_EQ(run_->results.at(AlgorithmId::kConstraintProgramming)
+                .raw_violations.total(),
+            0u);
+  EXPECT_EQ(
+      run_->results.at(AlgorithmId::kNsga3Tabu).raw_violations.total(), 0u);
+  // The unmodified EAs are all but guaranteed to violate on a constrained
+  // instance of this density.
+  const auto nsga2_violations =
+      run_->results.at(AlgorithmId::kNsga2).raw_violations.total();
+  const auto nsga3_violations =
+      run_->results.at(AlgorithmId::kNsga3).raw_violations.total();
+  EXPECT_GT(nsga2_violations + nsga3_violations, 0u);
+}
+
+// Fig. 9's shape: the hybrid accepts (nearly) everything; the unmodified
+// EAs lose many requests to sanitization.
+TEST_F(IntegrationSuite, HybridRejectsLeast) {
+  const auto& tabu = run_->results.at(AlgorithmId::kNsga3Tabu);
+  EXPECT_EQ(tabu.rejected, 0u);
+  const auto nsga2_rejected = run_->results.at(AlgorithmId::kNsga2).rejected;
+  const auto nsga3_rejected = run_->results.at(AlgorithmId::kNsga3).rejected;
+  EXPECT_GT(nsga2_rejected + nsga3_rejected, tabu.rejected);
+}
+
+// Fig. 11's shape: per accepted VM, the hybrid's provider cost is in the
+// same league as CP's, while the unmodified EAs pay more (no
+// consolidation pressure survives sanitization).
+TEST_F(IntegrationSuite, HybridCostCompetitiveWithCp) {
+  auto cost_per_vm = [&](AlgorithmId id) {
+    const auto& r = run_->results.at(id);
+    const std::size_t accepted = r.vm_count - r.rejected;
+    return accepted == 0 ? 0.0
+                         : r.objectives.usage_cost /
+                               static_cast<double>(accepted);
+  };
+  const double cp = cost_per_vm(AlgorithmId::kConstraintProgramming);
+  const double tabu = cost_per_vm(AlgorithmId::kNsga3Tabu);
+  const double nsga3 = cost_per_vm(AlgorithmId::kNsga3);
+  EXPECT_LT(tabu, nsga3 * 1.05);  // hybrid no worse than unmodified
+  EXPECT_LT(tabu, cp * 3.0);      // and within a reasonable factor of CP
+}
+
+TEST_F(IntegrationSuite, EaVariantsReportEvaluationBudget) {
+  for (AlgorithmId id : {AlgorithmId::kNsga2, AlgorithmId::kNsga3,
+                         AlgorithmId::kNsga3Cp, AlgorithmId::kNsga3Tabu}) {
+    EXPECT_GE(run_->results.at(id).evaluations, 1400u) << algorithm_name(id);
+  }
+  EXPECT_EQ(run_->results.at(AlgorithmId::kRoundRobin).evaluations, 0u);
+}
+
+TEST_F(IntegrationSuite, AllSixReportWallTime) {
+  for (const auto& [id, result] : run_->results) {
+    EXPECT_GE(result.wall_seconds, 0.0) << algorithm_name(id);
+    EXPECT_LT(result.wall_seconds, 120.0) << algorithm_name(id);
+  }
+}
+
+}  // namespace
+}  // namespace iaas

@@ -1,0 +1,178 @@
+// Fast non-dominated sorting, dominance relations, crowding distance.
+#include "ea/nondominated_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+
+namespace iaas {
+namespace {
+
+Individual ind(double a, double b, double c, std::uint32_t violations = 0) {
+  Individual i;
+  i.objectives = {a, b, c};
+  i.violations = violations;
+  return i;
+}
+
+const DominanceFn kPlain = [](const Individual& a, const Individual& b) {
+  return dominates(a, b);
+};
+const DominanceFn kConstrained = [](const Individual& a,
+                                    const Individual& b) {
+  return constrained_dominates(a, b);
+};
+
+TEST(Dominance, StrictlyBetterOnOneAxisDominates) {
+  EXPECT_TRUE(dominates(ind(1, 2, 3), ind(1, 2, 4)));
+  EXPECT_FALSE(dominates(ind(1, 2, 4), ind(1, 2, 3)));
+}
+
+TEST(Dominance, EqualPointsDoNotDominate) {
+  EXPECT_FALSE(dominates(ind(1, 2, 3), ind(1, 2, 3)));
+}
+
+TEST(Dominance, IncomparablePoints) {
+  EXPECT_FALSE(dominates(ind(1, 5, 3), ind(2, 1, 3)));
+  EXPECT_FALSE(dominates(ind(2, 1, 3), ind(1, 5, 3)));
+}
+
+TEST(ConstrainedDominance, FeasibleBeatsInfeasible) {
+  EXPECT_TRUE(constrained_dominates(ind(9, 9, 9, 0), ind(1, 1, 1, 1)));
+  EXPECT_FALSE(constrained_dominates(ind(1, 1, 1, 1), ind(9, 9, 9, 0)));
+}
+
+TEST(ConstrainedDominance, FewerViolationsWinAmongInfeasible) {
+  EXPECT_TRUE(constrained_dominates(ind(9, 9, 9, 1), ind(1, 1, 1, 5)));
+}
+
+TEST(ConstrainedDominance, ParetoAmongFeasible) {
+  EXPECT_TRUE(constrained_dominates(ind(1, 1, 1, 0), ind(2, 2, 2, 0)));
+  EXPECT_FALSE(constrained_dominates(ind(1, 5, 1, 0), ind(2, 2, 2, 0)));
+}
+
+TEST(NondominatedSort, SingleFrontWhenIncomparable) {
+  Population pop = {ind(1, 3, 2), ind(2, 1, 3), ind(3, 2, 1)};
+  const auto fronts = nondominated_sort(pop, kPlain);
+  ASSERT_EQ(fronts.size(), 1u);
+  EXPECT_EQ(fronts[0].size(), 3u);
+  for (const Individual& i : pop) {
+    EXPECT_EQ(i.rank, 0u);
+  }
+}
+
+TEST(NondominatedSort, ChainGivesOneFrontEach) {
+  Population pop = {ind(3, 3, 3), ind(1, 1, 1), ind(2, 2, 2)};
+  const auto fronts = nondominated_sort(pop, kPlain);
+  ASSERT_EQ(fronts.size(), 3u);
+  EXPECT_EQ(pop[1].rank, 0u);
+  EXPECT_EQ(pop[2].rank, 1u);
+  EXPECT_EQ(pop[0].rank, 2u);
+}
+
+TEST(NondominatedSort, FrontsPartitionPopulation) {
+  Rng rng(3);
+  Population pop;
+  for (int i = 0; i < 60; ++i) {
+    pop.push_back(ind(rng.next_double(), rng.next_double(),
+                      rng.next_double()));
+  }
+  const auto fronts = nondominated_sort(pop, kPlain);
+  std::size_t total = 0;
+  for (const auto& f : fronts) {
+    total += f.size();
+  }
+  EXPECT_EQ(total, pop.size());
+}
+
+TEST(NondominatedSort, RankZeroIsTrulyNondominated) {
+  Rng rng(5);
+  Population pop;
+  for (int i = 0; i < 80; ++i) {
+    pop.push_back(ind(rng.next_double(), rng.next_double(),
+                      rng.next_double()));
+  }
+  const auto fronts = nondominated_sort(pop, kPlain);
+  for (std::size_t a : fronts[0]) {
+    for (const Individual& other : pop) {
+      EXPECT_FALSE(dominates(other, pop[a]));
+    }
+  }
+}
+
+TEST(NondominatedSort, LowerFrontsDominatedBySomeEarlierMember) {
+  Rng rng(7);
+  Population pop;
+  for (int i = 0; i < 50; ++i) {
+    pop.push_back(ind(rng.next_double(), rng.next_double(),
+                      rng.next_double()));
+  }
+  const auto fronts = nondominated_sort(pop, kPlain);
+  for (std::size_t f = 1; f < fronts.size(); ++f) {
+    for (std::size_t idx : fronts[f]) {
+      bool dominated_by_prev = false;
+      for (std::size_t prev : fronts[f - 1]) {
+        if (dominates(pop[prev], pop[idx])) {
+          dominated_by_prev = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(dominated_by_prev);
+    }
+  }
+}
+
+TEST(NondominatedSort, ConstrainedModeSeparatesInfeasible) {
+  Population pop = {ind(1, 1, 1, 3), ind(5, 5, 5, 0), ind(2, 2, 2, 1)};
+  const auto fronts = nondominated_sort(pop, kConstrained);
+  EXPECT_EQ(pop[1].rank, 0u);  // feasible first
+  EXPECT_EQ(pop[2].rank, 1u);  // 1 violation
+  EXPECT_EQ(pop[0].rank, 2u);  // 3 violations
+  EXPECT_EQ(fronts.size(), 3u);
+}
+
+TEST(Crowding, BoundariesAreInfinite) {
+  Population pop = {ind(1, 9, 5), ind(2, 8, 5), ind(3, 7, 5), ind(4, 6, 5)};
+  std::vector<std::size_t> front = {0, 1, 2, 3};
+  assign_crowding_distance(pop, front);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(pop[0].crowding, kInf);
+  EXPECT_EQ(pop[3].crowding, kInf);
+  EXPECT_GT(pop[1].crowding, 0.0);
+  EXPECT_LT(pop[1].crowding, kInf);
+}
+
+TEST(Crowding, TinyFrontsAllInfinite) {
+  Population pop = {ind(1, 1, 1), ind(2, 2, 2)};
+  std::vector<std::size_t> front = {0, 1};
+  assign_crowding_distance(pop, front);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(pop[0].crowding, kInf);
+  EXPECT_EQ(pop[1].crowding, kInf);
+}
+
+TEST(Crowding, IsolatedPointGetsLargerDistance) {
+  // Points evenly spaced except one isolated in the middle axis.
+  Population pop = {ind(0, 0, 0), ind(1, 1, 1), ind(5, 5, 5),
+                    ind(9, 9, 9), ind(10, 10, 10)};
+  std::vector<std::size_t> front = {0, 1, 2, 3, 4};
+  assign_crowding_distance(pop, front);
+  // Middle point (index 2) spans a wide gap; its crowding beats its
+  // immediate neighbours'.
+  EXPECT_GT(pop[2].crowding, pop[1].crowding);
+  EXPECT_GT(pop[2].crowding, pop[3].crowding);
+}
+
+TEST(Crowding, DegenerateAxisIgnored) {
+  // All identical on every axis: no spread, finite zero distances except
+  // boundaries.
+  Population pop = {ind(1, 1, 1), ind(1, 1, 1), ind(1, 1, 1)};
+  std::vector<std::size_t> front = {0, 1, 2};
+  assign_crowding_distance(pop, front);
+  EXPECT_EQ(pop[1].crowding, 0.0);
+}
+
+}  // namespace
+}  // namespace iaas

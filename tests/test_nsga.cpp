@@ -1,0 +1,264 @@
+// NSGA-II / NSGA-III engines: population discipline, constraint modes,
+// repair hooks, improvement over random, parallel evaluation.
+#include <gtest/gtest.h>
+
+#include "ea/nsga2.h"
+#include "ea/nsga3.h"
+#include "tabu/repair.h"
+#include "tests/test_util.h"
+
+namespace iaas {
+namespace {
+
+NsgaConfig quick_config() {
+  NsgaConfig cfg;  // Table III defaults...
+  cfg.population_size = 20;        // ...scaled down for test speed
+  cfg.max_evaluations = 400;
+  cfg.reference_divisions = 4;
+  return cfg;
+}
+
+double mean_random_aggregate(const AllocationProblem& problem,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  double total = 0.0;
+  const int samples = 50;
+  for (int i = 0; i < samples; ++i) {
+    Individual ind;
+    ind.genes.resize(problem.gene_count());
+    randomize_genes(ind.genes, problem.max_gene(), rng);
+    problem.evaluate(ind);
+    total += ind.objectives[0] + ind.objectives[1] + ind.objectives[2];
+  }
+  return total / samples;
+}
+
+double best_front_aggregate(const std::vector<Individual>& front) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Individual& i : front) {
+    best = std::min(best,
+                    i.objectives[0] + i.objectives[1] + i.objectives[2]);
+  }
+  return best;
+}
+
+TEST(Nsga2, MaintainsPopulationSizeAndBudget) {
+  const Instance inst = test::make_random_instance(1, 8, 16);
+  const AllocationProblem problem(inst);
+  Nsga2 engine(problem, quick_config());
+  const auto result = engine.run(1);
+  EXPECT_EQ(result.population.size(), 20u);
+  EXPECT_GE(result.evaluations, 400u);
+  EXPECT_LT(result.evaluations, 400u + 2 * 20u);  // one generation overshoot
+  EXPECT_FALSE(result.front.empty());
+  EXPECT_GT(result.generations, 0u);
+}
+
+TEST(Nsga2, ImprovesOverRandomSampling) {
+  const Instance inst = test::make_random_instance(2, 8, 24);
+  const AllocationProblem problem(inst);
+  Nsga2 engine(problem, quick_config());
+  const auto result = engine.run(3);
+  EXPECT_LT(best_front_aggregate(result.front),
+            mean_random_aggregate(problem, 99));
+}
+
+TEST(Nsga2, DeterministicPerSeed) {
+  const Instance inst = test::make_random_instance(3, 8, 16);
+  const AllocationProblem problem(inst);
+  Nsga2 a(problem, quick_config());
+  Nsga2 b(problem, quick_config());
+  const auto ra = a.run(42);
+  const auto rb = b.run(42);
+  ASSERT_EQ(ra.front.size(), rb.front.size());
+  for (std::size_t i = 0; i < ra.front.size(); ++i) {
+    EXPECT_EQ(ra.front[i].genes, rb.front[i].genes);
+  }
+}
+
+TEST(Nsga2, FrontIsMutuallyNondominated) {
+  const Instance inst = test::make_random_instance(4, 8, 16);
+  const AllocationProblem problem(inst);
+  Nsga2 engine(problem, quick_config());
+  const auto result = engine.run(7);
+  for (const Individual& a : result.front) {
+    for (const Individual& b : result.front) {
+      EXPECT_FALSE(dominates(a, b) && dominates(b, a));
+    }
+  }
+}
+
+TEST(Nsga3, MaintainsPopulationSize) {
+  const Instance inst = test::make_random_instance(5, 8, 16);
+  const AllocationProblem problem(inst);
+  Nsga3 engine(problem, quick_config());
+  const auto result = engine.run(1);
+  EXPECT_EQ(result.population.size(), 20u);
+  EXPECT_FALSE(result.front.empty());
+}
+
+TEST(Nsga3, ReferencePointCountMatchesDivisions) {
+  const Instance inst = test::make_random_instance(6, 8, 16);
+  const AllocationProblem problem(inst);
+  NsgaConfig cfg = quick_config();
+  cfg.reference_divisions = 12;
+  Nsga3 engine(problem, cfg);
+  EXPECT_EQ(engine.reference_points().size(), 91u);  // C(14,2)
+}
+
+TEST(Nsga3, ImprovesOverRandomSampling) {
+  const Instance inst = test::make_random_instance(7, 8, 24);
+  const AllocationProblem problem(inst);
+  Nsga3 engine(problem, quick_config());
+  const auto result = engine.run(11);
+  EXPECT_LT(best_front_aggregate(result.front),
+            mean_random_aggregate(problem, 98));
+}
+
+TEST(Nsga3, RepairModeYieldsFeasibleFront) {
+  Instance inst = test::make_random_instance(8, 8, 24);
+  const AllocationProblem problem(inst);
+  TabuRepair repair(inst);
+  NsgaConfig cfg = quick_config();
+  cfg.constraint_mode = ConstraintMode::kRepair;
+  Nsga3 engine(problem, cfg,
+               [&repair](std::vector<std::int32_t>& genes, Rng& rng) {
+                 repair.repair(genes, rng);
+               });
+  const auto result = engine.run(13);
+  EXPECT_GT(result.repair_invocations, 0u);
+  for (const Individual& i : result.front) {
+    EXPECT_EQ(i.violations, 0u);
+  }
+}
+
+TEST(Nsga3, IgnoreModeTypicallyViolates) {
+  // Unmodified NSGA on a constrained instance: the front may violate —
+  // the paper's Fig. 10 finding.  Use a tight instance so violations are
+  // all but certain.
+  ScenarioConfig cfg = ScenarioConfig::paper_scale(16);
+  cfg.vms = 64;
+  cfg.constrained_fraction = 0.6;
+  const Instance inst = ScenarioGenerator(cfg).generate(3);
+  const AllocationProblem problem(inst);
+  Nsga3 engine(problem, quick_config());
+  const auto result = engine.run(5);
+  std::uint32_t total_violations = 0;
+  for (const Individual& i : result.population) {
+    total_violations += i.violations;
+  }
+  EXPECT_GT(total_violations, 0u);
+}
+
+TEST(NsgaBase, PenaltyModeRuns) {
+  const Instance inst = test::make_random_instance(9, 8, 16);
+  const AllocationProblem problem(inst);
+  NsgaConfig cfg = quick_config();
+  cfg.constraint_mode = ConstraintMode::kPenalty;
+  Nsga2 engine(problem, cfg);
+  const auto result = engine.run(17);
+  EXPECT_EQ(result.population.size(), 20u);
+}
+
+TEST(NsgaBase, ExcludeModeKeepsPopulationFilled) {
+  const Instance inst = test::make_random_instance(10, 8, 16);
+  const AllocationProblem problem(inst);
+  NsgaConfig cfg = quick_config();
+  cfg.constraint_mode = ConstraintMode::kExclude;
+  Nsga3 engine(problem, cfg);
+  const auto result = engine.run(19);
+  EXPECT_EQ(result.population.size(), 20u);
+}
+
+TEST(NsgaBase, ParallelEvaluationMatchesSerial) {
+  const Instance inst = test::make_random_instance(11, 8, 24);
+  const AllocationProblem problem(inst);
+  NsgaConfig serial = quick_config();
+  serial.threads = 1;
+  NsgaConfig parallel = quick_config();
+  parallel.threads = 4;
+  Nsga2 a(problem, serial);
+  Nsga2 b(problem, parallel);
+  const auto ra = a.run(23);
+  const auto rb = b.run(23);
+  // Same seed, same algorithm: evaluation order cannot affect results.
+  ASSERT_EQ(ra.front.size(), rb.front.size());
+  for (std::size_t i = 0; i < ra.front.size(); ++i) {
+    EXPECT_EQ(ra.front[i].genes, rb.front[i].genes);
+  }
+}
+
+TEST(Nsga3, NicheTournamentRunsAndStaysDeterministic) {
+  const Instance inst = test::make_random_instance(14, 8, 24);
+  const AllocationProblem problem(inst);
+  NsgaConfig cfg = quick_config();
+  cfg.niche_tournament = true;  // U-NSGA-III variant
+  Nsga3 a(problem, cfg);
+  Nsga3 b(problem, cfg);
+  const auto ra = a.run(31);
+  const auto rb = b.run(31);
+  EXPECT_EQ(ra.population.size(), 20u);
+  ASSERT_EQ(ra.front.size(), rb.front.size());
+  for (std::size_t i = 0; i < ra.front.size(); ++i) {
+    EXPECT_EQ(ra.front[i].genes, rb.front[i].genes);
+  }
+}
+
+TEST(Nsga3, NicheTournamentStillImprovesOverRandom) {
+  const Instance inst = test::make_random_instance(15, 8, 24);
+  const AllocationProblem problem(inst);
+  NsgaConfig cfg = quick_config();
+  cfg.niche_tournament = true;
+  Nsga3 engine(problem, cfg);
+  const auto result = engine.run(37);
+  EXPECT_LT(best_front_aggregate(result.front),
+            mean_random_aggregate(problem, 97));
+}
+
+TEST(AllocationProblem, WarmStartGenesMirrorPrevious) {
+  Instance inst = test::make_random_instance(16, 8, 16);
+  inst.previous.assign(0, 3);
+  inst.previous.assign(5, 7);
+  const AllocationProblem problem(inst);
+  Rng rng(1);
+  const auto genes = problem.warm_start_genes(rng);
+  ASSERT_EQ(genes.size(), 16u);
+  EXPECT_EQ(genes[0], 3);
+  EXPECT_EQ(genes[5], 7);
+  for (std::int32_t g : genes) {
+    EXPECT_GE(g, 0);  // unplaced VMs randomised, never left rejected
+    EXPECT_LE(g, problem.max_gene());
+  }
+}
+
+TEST(AllocationProblem, WarmStartEmptyWithoutPrevious) {
+  const Instance inst = test::make_random_instance(17, 8, 16);
+  const AllocationProblem problem(inst);
+  Rng rng(1);
+  EXPECT_TRUE(problem.warm_start_genes(rng).empty());
+}
+
+TEST(AllocationProblem, EvaluateSetsAllFields) {
+  const Instance inst = test::make_random_instance(12, 8, 16);
+  const AllocationProblem problem(inst);
+  Individual ind;
+  ind.genes.assign(problem.gene_count(), 0);
+  problem.evaluate(ind);
+  EXPECT_TRUE(ind.evaluated);
+  EXPECT_GT(ind.objectives[0], 0.0);  // everything on server 0 costs
+}
+
+TEST(AllocationProblem, EvaluatePopulationSkipsEvaluated) {
+  const Instance inst = test::make_random_instance(13, 8, 16);
+  const AllocationProblem problem(inst);
+  Population pop(4);
+  for (Individual& i : pop) {
+    i.genes.assign(problem.gene_count(), 0);
+  }
+  pop[0].evaluated = true;  // pretend
+  const std::size_t evaluated = problem.evaluate_population(pop, nullptr);
+  EXPECT_EQ(evaluated, 3u);
+}
+
+}  // namespace
+}  // namespace iaas

@@ -1,0 +1,186 @@
+// SBX / polynomial-mutation variation operators on integer genes.
+#include "ea/operators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace iaas {
+namespace {
+
+std::vector<std::int32_t> constant_genes(std::size_t n, std::int32_t v) {
+  return std::vector<std::int32_t>(n, v);
+}
+
+TEST(RandomizeGenes, WithinBounds) {
+  Rng rng(1);
+  std::vector<std::int32_t> genes(1000);
+  randomize_genes(genes, 15, rng);
+  for (std::int32_t g : genes) {
+    EXPECT_GE(g, 0);
+    EXPECT_LE(g, 15);
+  }
+  // All values reachable.
+  for (std::int32_t v = 0; v <= 15; ++v) {
+    EXPECT_NE(std::find(genes.begin(), genes.end(), v), genes.end());
+  }
+}
+
+TEST(Sbx, ChildrenWithinBounds) {
+  Rng rng(2);
+  const auto pa = constant_genes(64, 0);
+  const auto pb = constant_genes(64, 99);
+  SbxParams params;
+  params.rate = 1.0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::int32_t> ca;
+    std::vector<std::int32_t> cb;
+    sbx_crossover(pa, pb, ca, cb, 99, params, rng);
+    for (std::size_t g = 0; g < 64; ++g) {
+      EXPECT_GE(ca[g], 0);
+      EXPECT_LE(ca[g], 99);
+      EXPECT_GE(cb[g], 0);
+      EXPECT_LE(cb[g], 99);
+    }
+  }
+}
+
+TEST(Sbx, ZeroRateCopiesParents) {
+  Rng rng(3);
+  const auto pa = constant_genes(16, 3);
+  const auto pb = constant_genes(16, 7);
+  SbxParams params;
+  params.rate = 0.0;
+  std::vector<std::int32_t> ca;
+  std::vector<std::int32_t> cb;
+  sbx_crossover(pa, pb, ca, cb, 10, params, rng);
+  EXPECT_EQ(ca, pa);
+  EXPECT_EQ(cb, pb);
+}
+
+TEST(Sbx, IdenticalParentsYieldIdenticalChildren) {
+  Rng rng(4);
+  const auto p = constant_genes(32, 5);
+  SbxParams params;
+  params.rate = 1.0;
+  std::vector<std::int32_t> ca;
+  std::vector<std::int32_t> cb;
+  sbx_crossover(p, p, ca, cb, 10, params, rng);
+  // SBX blends the two parent values; identical parents -> same value.
+  EXPECT_EQ(ca, p);
+  EXPECT_EQ(cb, p);
+}
+
+TEST(Sbx, MixesParentValues) {
+  Rng rng(5);
+  const auto pa = constant_genes(256, 10);
+  const auto pb = constant_genes(256, 90);
+  SbxParams params;
+  params.rate = 1.0;
+  std::vector<std::int32_t> ca;
+  std::vector<std::int32_t> cb;
+  sbx_crossover(pa, pb, ca, cb, 100, params, rng);
+  // Some genes crossed (not all equal to either parent everywhere).
+  bool any_changed = false;
+  for (std::size_t g = 0; g < 256; ++g) {
+    if (ca[g] != 10 || cb[g] != 90) {
+      any_changed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(Sbx, DeterministicForSameSeed) {
+  const auto pa = constant_genes(32, 2);
+  const auto pb = constant_genes(32, 8);
+  SbxParams params;
+  params.rate = 1.0;
+  std::vector<std::int32_t> ca1, cb1, ca2, cb2;
+  Rng r1(77);
+  sbx_crossover(pa, pb, ca1, cb1, 10, params, r1);
+  Rng r2(77);
+  sbx_crossover(pa, pb, ca2, cb2, 10, params, r2);
+  EXPECT_EQ(ca1, ca2);
+  EXPECT_EQ(cb1, cb2);
+}
+
+TEST(Pm, WithinBounds) {
+  Rng rng(6);
+  PmParams params;
+  params.rate = 1.0;
+  for (int round = 0; round < 20; ++round) {
+    auto genes = constant_genes(64, 50);
+    polynomial_mutation(genes, 99, params, rng);
+    for (std::int32_t g : genes) {
+      EXPECT_GE(g, 0);
+      EXPECT_LE(g, 99);
+    }
+  }
+}
+
+TEST(Pm, ZeroRateIsNoop) {
+  Rng rng(7);
+  auto genes = constant_genes(32, 4);
+  PmParams params;
+  params.rate = 0.0;
+  polynomial_mutation(genes, 10, params, rng);
+  EXPECT_EQ(genes, constant_genes(32, 4));
+}
+
+TEST(Pm, FullRateAlwaysPerturbs) {
+  // The integer adaptation nudges by at least one step, so rate-1.0
+  // mutation must change every gene (domain > 1).
+  Rng rng(8);
+  auto genes = constant_genes(128, 25);
+  PmParams params;
+  params.rate = 1.0;
+  polynomial_mutation(genes, 50, params, rng);
+  for (std::int32_t g : genes) {
+    EXPECT_NE(g, 25);
+  }
+}
+
+TEST(Pm, ApproximatesConfiguredRate) {
+  Rng rng(9);
+  PmParams params;
+  params.rate = 0.2;  // Table III
+  int changed = 0;
+  const int total = 20000;
+  auto genes = constant_genes(total, 25);
+  polynomial_mutation(genes, 50, params, rng);
+  for (std::int32_t g : genes) {
+    changed += g != 25 ? 1 : 0;
+  }
+  EXPECT_NEAR(changed / static_cast<double>(total), 0.2, 0.02);
+}
+
+TEST(Pm, SingleServerDomainIsNoop) {
+  Rng rng(10);
+  auto genes = constant_genes(8, 0);
+  PmParams params;
+  params.rate = 1.0;
+  polynomial_mutation(genes, 0, params, rng);
+  EXPECT_EQ(genes, constant_genes(8, 0));
+}
+
+TEST(Pm, BoundaryGenesStayInDomain) {
+  Rng rng(11);
+  PmParams params;
+  params.rate = 1.0;
+  auto genes = constant_genes(64, 0);
+  polynomial_mutation(genes, 9, params, rng);
+  for (std::int32_t g : genes) {
+    EXPECT_GE(g, 0);
+    EXPECT_LE(g, 9);
+  }
+  genes = constant_genes(64, 9);
+  polynomial_mutation(genes, 9, params, rng);
+  for (std::int32_t g : genes) {
+    EXPECT_GE(g, 0);
+    EXPECT_LE(g, 9);
+  }
+}
+
+}  // namespace
+}  // namespace iaas

@@ -1,0 +1,177 @@
+// Domain store + propagation-based CP solver, cross-validated against
+// the forward-checking CpSolver.
+#include "lp/propagating_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "model/constraint_checker.h"
+#include "model/objectives.h"
+#include "tests/test_util.h"
+
+namespace iaas {
+namespace {
+
+using test::make_instance;
+using test::make_random_instance;
+
+TEST(DomainStore, StartsFull) {
+  DomainStore store(3, 70);  // spans a word boundary
+  for (std::size_t vm = 0; vm < 3; ++vm) {
+    EXPECT_EQ(store.size(vm), 70u);
+    EXPECT_TRUE(store.contains(vm, 0));
+    EXPECT_TRUE(store.contains(vm, 69));
+  }
+}
+
+TEST(DomainStore, RemoveAndRollback) {
+  DomainStore store(2, 10);
+  const std::size_t mark = store.checkpoint();
+  store.remove(0, 3);
+  store.remove(0, 7);
+  store.remove(1, 0);
+  EXPECT_EQ(store.size(0), 8u);
+  EXPECT_FALSE(store.contains(0, 3));
+  store.rollback(mark);
+  EXPECT_EQ(store.size(0), 10u);
+  EXPECT_TRUE(store.contains(0, 3));
+  EXPECT_TRUE(store.contains(1, 0));
+}
+
+TEST(DomainStore, RemoveIsIdempotent) {
+  DomainStore store(1, 4);
+  const std::size_t mark = store.checkpoint();
+  store.remove(0, 2);
+  store.remove(0, 2);  // no double-trailing
+  EXPECT_EQ(store.size(0), 3u);
+  store.rollback(mark);
+  EXPECT_EQ(store.size(0), 4u);
+}
+
+TEST(DomainStore, AssignCollapsesToSingleton) {
+  DomainStore store(1, 130);  // three words
+  store.assign(0, 65);
+  EXPECT_EQ(store.size(0), 1u);
+  EXPECT_EQ(store.single_value(0), 65u);
+  std::vector<std::uint32_t> values;
+  store.values(0, values);
+  EXPECT_EQ(values, (std::vector<std::uint32_t>{65}));
+}
+
+TEST(DomainStore, NestedRollbacks) {
+  DomainStore store(1, 8);
+  const std::size_t m0 = store.checkpoint();
+  store.remove(0, 1);
+  const std::size_t m1 = store.checkpoint();
+  store.assign(0, 5);
+  EXPECT_EQ(store.size(0), 1u);
+  store.rollback(m1);
+  EXPECT_EQ(store.size(0), 7u);
+  EXPECT_FALSE(store.contains(0, 1));
+  store.rollback(m0);
+  EXPECT_EQ(store.size(0), 8u);
+}
+
+TEST(PropagatingSolver, FindsFeasibleCompleteAssignment) {
+  const Instance inst = make_instance(
+      1, 3, {10.0, 10.0, 10.0},
+      {{4.0, 4.0, 4.0}, {4.0, 4.0, 4.0}, {4.0, 4.0, 4.0}});
+  PropagatingCpSolver solver(inst);
+  CpStats stats;
+  const Placement p = solver.solve(&stats);
+  EXPECT_TRUE(stats.found_complete);
+  EXPECT_EQ(p.rejected_count(), 0u);
+  EXPECT_TRUE(ConstraintChecker(inst).check(p).feasible());
+}
+
+TEST(PropagatingSolver, RespectsRelationships) {
+  const Instance inst = make_instance(
+      2, 2, {10.0, 10.0, 10.0},
+      {{2.0, 2.0, 2.0}, {2.0, 2.0, 2.0}, {2.0, 2.0, 2.0}, {2.0, 2.0, 2.0}},
+      {{RelationKind::kSameServer, {0, 1}},
+       {RelationKind::kDifferentDatacenters, {2, 3}}});
+  PropagatingCpSolver solver(inst);
+  const Placement p = solver.solve();
+  ASSERT_EQ(p.rejected_count(), 0u);
+  EXPECT_EQ(p.server_of(0), p.server_of(1));
+  EXPECT_NE(inst.infra.datacenter_of(static_cast<std::size_t>(p.server_of(2))),
+            inst.infra.datacenter_of(static_cast<std::size_t>(p.server_of(3))));
+}
+
+TEST(PropagatingSolver, OversizedVmFallsBackToRejection) {
+  const Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0}, {{20.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  PropagatingCpSolver solver(inst);
+  CpStats stats;
+  const Placement p = solver.solve(&stats);
+  EXPECT_FALSE(stats.found_complete);
+  EXPECT_FALSE(p.is_assigned(0));
+  EXPECT_TRUE(ConstraintChecker(inst).check(p).feasible());
+}
+
+// The key cross-validation: both engines prove the same optimum.
+class SolverAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverAgreement, SameProvedOptimum) {
+  const Instance inst = make_random_instance(GetParam(), 8, 10);
+  CpSolver baseline(inst);
+  PropagatingCpSolver propagating(inst);
+  CpStats s1, s2;
+  const Placement p1 = baseline.solve(&s1);
+  const Placement p2 = propagating.solve(&s2);
+  ASSERT_TRUE(s1.proved_optimal);
+  ASSERT_TRUE(s2.proved_optimal);
+
+  Evaluator evaluator(inst);
+  const ObjectiveVector o1 = evaluator.objectives(p1);
+  const ObjectiveVector o2 = evaluator.objectives(p2);
+  EXPECT_NEAR(o1.usage_cost + o1.migration_cost,
+              o2.usage_cost + o2.migration_cost, 1e-6)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverAgreement,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(PropagatingSolver, PropagationVisitsFewerOrEqualNodesTypically) {
+  // Not a theorem, but on constrained instances the filtering should cut
+  // the explored tree substantially; assert a sane aggregate.
+  std::uint64_t baseline_nodes = 0;
+  std::uint64_t propagating_nodes = 0;
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    ScenarioConfig cfg = ScenarioConfig::paper_scale(8);
+    cfg.vms = 12;
+    cfg.constrained_fraction = 0.6;
+    const Instance inst = ScenarioGenerator(cfg).generate(seed);
+    CpStats s1, s2;
+    CpSolver(inst).solve(&s1);
+    PropagatingCpSolver(inst).solve(&s2);
+    baseline_nodes += s1.nodes;
+    propagating_nodes += s2.nodes;
+  }
+  EXPECT_LE(propagating_nodes, baseline_nodes * 2);  // sanity ceiling
+  EXPECT_GT(propagating_nodes, 0u);
+}
+
+TEST(PropagatingSolver, HonoursBacktrackBudget) {
+  CpSolverOptions options;
+  options.max_backtracks = 10;
+  const Instance inst = make_random_instance(9, 8, 16);
+  PropagatingCpSolver solver(inst, options);
+  CpStats stats;
+  solver.solve(&stats);
+  EXPECT_LE(stats.backtracks, 11u);
+}
+
+TEST(PropagatingSolver, HonoursDeadline) {
+  CpSolverOptions options;
+  options.time_limit_seconds = 0.0;
+  const Instance inst = make_random_instance(10, 8, 16);
+  PropagatingCpSolver solver(inst, options);
+  CpStats stats;
+  const Placement p = solver.solve(&stats);
+  EXPECT_TRUE(stats.timed_out);
+  EXPECT_TRUE(ConstraintChecker(inst).check(p).feasible());
+}
+
+}  // namespace
+}  // namespace iaas

@@ -1,0 +1,120 @@
+// sanitize_placement: converting raw algorithm output into a deployable
+// (feasible) placement by rejecting violating VMs.
+#include <gtest/gtest.h>
+
+#include "algo/allocator.h"
+#include "common/rng.h"
+#include "model/constraint_checker.h"
+#include "tests/test_util.h"
+
+namespace iaas {
+namespace {
+
+using test::make_instance;
+using test::make_random_instance;
+
+TEST(Sanitize, FeasibleInputPassesThrough) {
+  const Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  Placement p(2);
+  p.assign(0, 0);
+  p.assign(1, 1);
+  EXPECT_EQ(sanitize_placement(inst, p), p);
+}
+
+TEST(Sanitize, OverloadShedsLargestFirst) {
+  const Instance inst = make_instance(
+      1, 1, {10.0, 10.0, 10.0},
+      {{7.0, 1.0, 1.0}, {2.0, 1.0, 1.0}, {2.0, 1.0, 1.0}});
+  Placement p(3);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  p.assign(2, 0);  // cpu 11 > 10
+  const Placement s = sanitize_placement(inst, p);
+  // Rejecting the 7-cpu VM alone restores feasibility and keeps two VMs.
+  EXPECT_FALSE(s.is_assigned(0));
+  EXPECT_TRUE(s.is_assigned(1));
+  EXPECT_TRUE(s.is_assigned(2));
+}
+
+TEST(Sanitize, SameServerKeepsMajority) {
+  const Instance inst = make_instance(
+      1, 3, {10.0, 10.0, 10.0},
+      {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}},
+      {{RelationKind::kSameServer, {0, 1, 2}}});
+  Placement p(3);
+  p.assign(0, 1);
+  p.assign(1, 1);
+  p.assign(2, 2);  // odd one out
+  const Placement s = sanitize_placement(inst, p);
+  EXPECT_TRUE(s.is_assigned(0));
+  EXPECT_TRUE(s.is_assigned(1));
+  EXPECT_FALSE(s.is_assigned(2));
+}
+
+TEST(Sanitize, AntiAffinityDropsDuplicates) {
+  const Instance inst = make_instance(
+      1, 3, {10.0, 10.0, 10.0},
+      {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}},
+      {{RelationKind::kDifferentServers, {0, 1, 2}}});
+  Placement p(3);
+  p.assign(0, 0);
+  p.assign(1, 0);
+  p.assign(2, 1);
+  const Placement s = sanitize_placement(inst, p);
+  EXPECT_TRUE(s.is_assigned(0));
+  EXPECT_FALSE(s.is_assigned(1));  // duplicate on server 0
+  EXPECT_TRUE(s.is_assigned(2));
+}
+
+TEST(Sanitize, DifferentDatacentersDropsCoLocated) {
+  const Instance inst = make_instance(
+      2, 2, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}},
+      {{RelationKind::kDifferentDatacenters, {0, 1}}});
+  Placement p(2);
+  p.assign(0, 0);
+  p.assign(1, 1);  // same DC, different servers — still violating
+  const Placement s = sanitize_placement(inst, p);
+  EXPECT_EQ(s.assigned_count(), 1u);
+}
+
+TEST(Sanitize, OutOfRangeServerRejected) {
+  const Instance inst =
+      make_instance(1, 2, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}});
+  Placement p(1);
+  p.assign(0, 77);  // no such server
+  const Placement s = sanitize_placement(inst, p);
+  EXPECT_FALSE(s.is_assigned(0));
+}
+
+// Property: for arbitrary random raw placements the sanitized result is
+// always feasible and never *adds* assignments.
+class SanitizeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SanitizeProperty, AlwaysFeasibleNeverAdds) {
+  const Instance inst = make_random_instance(GetParam(), 16, 48);
+  const ConstraintChecker checker(inst);
+  Rng rng(GetParam() * 7 + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Placement raw(inst.n());
+    for (std::size_t k = 0; k < inst.n(); ++k) {
+      if (rng.bernoulli(0.9)) {
+        raw.assign(k, static_cast<std::int32_t>(rng.uniform_index(inst.m())));
+      }
+    }
+    const Placement s = sanitize_placement(inst, raw);
+    EXPECT_TRUE(checker.check(s).feasible());
+    for (std::size_t k = 0; k < inst.n(); ++k) {
+      if (s.is_assigned(k)) {
+        // Sanitize may only keep or reject, never re-place.
+        EXPECT_EQ(s.server_of(k), raw.server_of(k));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SanitizeProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace iaas

@@ -1,0 +1,211 @@
+// Reconfiguration plans and the cyclic time-window simulator.
+#include <gtest/gtest.h>
+
+#include "algo/nsga_allocators.h"
+#include "algo/round_robin.h"
+#include "sim/reconfiguration_plan.h"
+#include "sim/simulator.h"
+#include "tests/test_util.h"
+
+namespace iaas {
+namespace {
+
+using test::make_instance;
+
+TEST(ReconfigurationPlan, DiffClassifiesActions) {
+  Instance inst = make_instance(
+      1, 3, {10.0, 10.0, 10.0},
+      {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  Placement from(4);
+  from.assign(0, 0);  // stays
+  from.assign(1, 1);  // migrates to 2
+  from.assign(2, 2);  // stops
+  // VM 3 was not running      -> boots
+  Placement to(4);
+  to.assign(0, 0);
+  to.assign(1, 2);
+  to.assign(3, 1);
+
+  const ReconfigurationPlan plan = make_plan(inst, from, to);
+  EXPECT_EQ(plan.actions.size(), 3u);
+  EXPECT_EQ(plan.boots(), 1u);
+  EXPECT_EQ(plan.migrations(), 1u);
+  EXPECT_EQ(plan.stops(), 1u);
+  // Helper migration cost is 2.0/VM; only VM 1 migrates.
+  EXPECT_DOUBLE_EQ(plan.migration_cost(), 2.0);
+}
+
+TEST(ReconfigurationPlan, IdenticalPlacementsEmptyPlan) {
+  Instance inst =
+      make_instance(1, 2, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}});
+  Placement p(1);
+  p.assign(0, 1);
+  const ReconfigurationPlan plan = make_plan(inst, p, p);
+  EXPECT_TRUE(plan.actions.empty());
+  EXPECT_DOUBLE_EQ(plan.migration_cost(), 0.0);
+}
+
+TEST(ReconfigurationPlan, SummaryMentionsCounts) {
+  Instance inst =
+      make_instance(1, 2, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}});
+  Placement from(1);
+  Placement to(1);
+  to.assign(0, 0);
+  const std::string s = make_plan(inst, from, to).summary();
+  EXPECT_NE(s.find("1 boots"), std::string::npos);
+  EXPECT_NE(s.find("0 migrations"), std::string::npos);
+}
+
+SimConfig small_sim() {
+  SimConfig cfg;
+  cfg.windows = 6;
+  cfg.arrivals_per_window_mean = 8.0;
+  cfg.departure_probability = 0.15;
+  cfg.scenario = ScenarioConfig::paper_scale(16);
+  return cfg;
+}
+
+TEST(CloudSimulator, RunsFullHorizon) {
+  CloudSimulator sim(small_sim(), std::make_unique<RoundRobinAllocator>());
+  const auto metrics = sim.run(1);
+  ASSERT_EQ(metrics.size(), 6u);
+  for (std::size_t w = 0; w < metrics.size(); ++w) {
+    EXPECT_EQ(metrics[w].window, w);
+    EXPECT_GE(metrics[w].solve_seconds, 0.0);
+  }
+}
+
+TEST(CloudSimulator, DeterministicPerSeed) {
+  CloudSimulator a(small_sim(), std::make_unique<RoundRobinAllocator>());
+  CloudSimulator b(small_sim(), std::make_unique<RoundRobinAllocator>());
+  const auto ma = a.run(42);
+  const auto mb = b.run(42);
+  ASSERT_EQ(ma.size(), mb.size());
+  for (std::size_t w = 0; w < ma.size(); ++w) {
+    EXPECT_EQ(ma[w].arrived, mb[w].arrived);
+    EXPECT_EQ(ma[w].departed, mb[w].departed);
+    EXPECT_EQ(ma[w].running, mb[w].running);
+    EXPECT_EQ(ma[w].migrations, mb[w].migrations);
+    EXPECT_DOUBLE_EQ(ma[w].objectives.aggregate(),
+                     mb[w].objectives.aggregate());
+  }
+}
+
+TEST(CloudSimulator, RunningPopulationBalances) {
+  CloudSimulator sim(small_sim(), std::make_unique<RoundRobinAllocator>());
+  const auto metrics = sim.run(7);
+  std::size_t running = 0;
+  for (const WindowMetrics& w : metrics) {
+    // After the window: previous running - departed + arrived - rejected.
+    const std::size_t expected =
+        running - w.departed + w.arrived - w.rejected;
+    EXPECT_EQ(w.running, expected) << "window " << w.window;
+    running = w.running;
+  }
+}
+
+TEST(CloudSimulator, FirstWindowBootsEverythingPlaced) {
+  SimConfig cfg = small_sim();
+  cfg.departure_probability = 0.0;
+  CloudSimulator sim(cfg, std::make_unique<RoundRobinAllocator>());
+  const auto metrics = sim.run(3);
+  const WindowMetrics& w0 = metrics.front();
+  EXPECT_EQ(w0.boots, w0.arrived - w0.rejected);
+  EXPECT_EQ(w0.migrations, 0u);
+}
+
+TEST(CloudSimulator, ZeroArrivalsProduceEmptyWindows) {
+  SimConfig cfg = small_sim();
+  cfg.arrivals_per_window_mean = 0.0;
+  CloudSimulator sim(cfg, std::make_unique<RoundRobinAllocator>());
+  const auto metrics = sim.run(5);
+  for (const WindowMetrics& w : metrics) {
+    EXPECT_EQ(w.arrived, 0u);
+    EXPECT_EQ(w.running, 0u);
+    EXPECT_DOUBLE_EQ(w.objectives.aggregate(), 0.0);
+  }
+}
+
+TEST(CloudSimulator, DrivesTheHybridAllocatorEndToEnd) {
+  SimConfig cfg = small_sim();
+  cfg.windows = 3;
+  cfg.arrivals_per_window_mean = 6.0;
+  EaAllocatorOptions options;
+  options.nsga.population_size = 16;
+  options.nsga.max_evaluations = 320;
+  options.nsga.reference_divisions = 4;
+  CloudSimulator sim(cfg, std::make_unique<Nsga3TabuAllocator>(options));
+  const auto metrics = sim.run(23);
+  ASSERT_EQ(metrics.size(), 3u);
+  std::size_t running = 0;
+  for (const WindowMetrics& w : metrics) {
+    const std::size_t expected =
+        running - w.departed + w.arrived - w.rejected;
+    EXPECT_EQ(w.running, expected);
+    running = w.running;
+  }
+}
+
+TEST(CloudSimulator, FailureInjectionDisplacesVms) {
+  SimConfig cfg = small_sim();
+  cfg.windows = 12;
+  cfg.server_failure_probability = 0.15;
+  cfg.departure_probability = 0.0;
+  CloudSimulator sim(cfg, std::make_unique<RoundRobinAllocator>());
+  const auto metrics = sim.run(13);
+  std::size_t total_failures = 0;
+  std::size_t total_displaced = 0;
+  for (const WindowMetrics& w : metrics) {
+    total_failures += w.failed_servers;
+    total_displaced += w.displaced_vms;
+  }
+  EXPECT_GT(total_failures, 0u);
+  EXPECT_GT(total_displaced, 0u);
+}
+
+TEST(CloudSimulator, NoFailuresWhenProbabilityZero) {
+  SimConfig cfg = small_sim();
+  cfg.server_failure_probability = 0.0;
+  CloudSimulator sim(cfg, std::make_unique<RoundRobinAllocator>());
+  for (const WindowMetrics& w : sim.run(17)) {
+    EXPECT_EQ(w.failed_servers, 0u);
+    EXPECT_EQ(w.displaced_vms, 0u);
+  }
+}
+
+TEST(CloudSimulator, FailuresForceMigrationsOffDeadServers) {
+  // With certain failure of many servers, surviving VMs must migrate.
+  SimConfig cfg = small_sim();
+  cfg.windows = 4;
+  cfg.server_failure_probability = 0.3;
+  cfg.departure_probability = 0.0;
+  cfg.arrivals_per_window_mean = 10.0;
+  CloudSimulator sim(cfg, std::make_unique<RoundRobinAllocator>());
+  const auto metrics = sim.run(19);
+  std::size_t migrations = 0;
+  for (const WindowMetrics& w : metrics) {
+    migrations += w.migrations;
+  }
+  EXPECT_GT(migrations, 0u);
+}
+
+TEST(CloudSimulator, DeparturesShrinkPlatform) {
+  SimConfig cfg = small_sim();
+  cfg.windows = 30;
+  cfg.departure_probability = 0.5;
+  cfg.arrivals_per_window_mean = 2.0;
+  CloudSimulator sim(cfg, std::make_unique<RoundRobinAllocator>());
+  const auto metrics = sim.run(11);
+  // With heavy churn the platform stays small — sanity bound.
+  for (const WindowMetrics& w : metrics) {
+    EXPECT_LT(w.running, 60u);
+  }
+  std::size_t total_departed = 0;
+  for (const WindowMetrics& w : metrics) {
+    total_departed += w.departed;
+  }
+  EXPECT_GT(total_departed, 0u);
+}
+
+}  // namespace
+}  // namespace iaas

@@ -1,0 +1,258 @@
+// Tabu list, the Fig. 5/6 repair operator, and the standalone tabu
+// search.
+#include <gtest/gtest.h>
+
+#include "model/constraint_checker.h"
+#include "model/objectives.h"
+#include "tabu/repair.h"
+#include "tabu/tabu_list.h"
+#include "tabu/tabu_search.h"
+#include "tests/test_util.h"
+
+namespace iaas {
+namespace {
+
+using test::make_instance;
+using test::make_random_instance;
+
+TEST(TabuList, ForbidsAndExpires) {
+  TabuList tabu(2);
+  tabu.forbid(1, 10);
+  tabu.forbid(2, 20);
+  EXPECT_TRUE(tabu.is_tabu(1, 10));
+  EXPECT_TRUE(tabu.is_tabu(2, 20));
+  EXPECT_FALSE(tabu.is_tabu(1, 20));
+  tabu.forbid(3, 30);  // evicts the oldest (1,10)
+  EXPECT_FALSE(tabu.is_tabu(1, 10));
+  EXPECT_TRUE(tabu.is_tabu(3, 30));
+  EXPECT_EQ(tabu.size(), 2u);
+}
+
+TEST(TabuList, DuplicateForbidDoesNotGrow) {
+  TabuList tabu(4);
+  tabu.forbid(1, 1);
+  tabu.forbid(1, 1);
+  EXPECT_EQ(tabu.size(), 1u);
+}
+
+TEST(TabuList, ZeroTenureNeverForbids) {
+  TabuList tabu(0);
+  tabu.forbid(1, 1);
+  EXPECT_FALSE(tabu.is_tabu(1, 1));
+  EXPECT_EQ(tabu.size(), 0u);
+}
+
+TEST(TabuList, ClearEmpties) {
+  TabuList tabu(4);
+  tabu.forbid(1, 1);
+  tabu.clear();
+  EXPECT_FALSE(tabu.is_tabu(1, 1));
+  EXPECT_EQ(tabu.size(), 0u);
+}
+
+TEST(TabuRepair, FixesOverloadedServer) {
+  // Both VMs crammed onto server 0 (16 cpu > 10); a neighbour is free.
+  const Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0}, {{8.0, 2.0, 2.0}, {8.0, 2.0, 2.0}});
+  TabuRepair repair(inst);
+  Rng rng(1);
+  std::vector<std::int32_t> genes = {0, 0};
+  const std::uint32_t remaining = repair.repair(genes, rng);
+  EXPECT_EQ(remaining, 0u);
+  EXPECT_TRUE(
+      ConstraintChecker(inst).check(Placement(genes)).feasible());
+  // One VM moved, one stayed (the refinement: shed only until it fits).
+  EXPECT_NE(genes[0], genes[1]);
+}
+
+TEST(TabuRepair, FixesSameServerGroup) {
+  const Instance inst = make_instance(
+      1, 3, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}},
+      {{RelationKind::kSameServer, {0, 1}}});
+  TabuRepair repair(inst);
+  Rng rng(2);
+  std::vector<std::int32_t> genes = {0, 2};
+  EXPECT_EQ(repair.repair(genes, rng), 0u);
+  EXPECT_EQ(genes[0], genes[1]);
+}
+
+TEST(TabuRepair, FixesDifferentServersGroup) {
+  const Instance inst = make_instance(
+      1, 4, {10.0, 10.0, 10.0},
+      {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}},
+      {{RelationKind::kDifferentServers, {0, 1, 2}}});
+  TabuRepair repair(inst);
+  Rng rng(3);
+  std::vector<std::int32_t> genes = {1, 1, 1};
+  EXPECT_EQ(repair.repair(genes, rng), 0u);
+  EXPECT_NE(genes[0], genes[1]);
+  EXPECT_NE(genes[1], genes[2]);
+  EXPECT_NE(genes[0], genes[2]);
+}
+
+TEST(TabuRepair, FixesDifferentDatacentersGroup) {
+  const Instance inst = make_instance(
+      2, 2, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}},
+      {{RelationKind::kDifferentDatacenters, {0, 1}}});
+  TabuRepair repair(inst);
+  Rng rng(4);
+  std::vector<std::int32_t> genes = {0, 1};  // both DC 0
+  EXPECT_EQ(repair.repair(genes, rng), 0u);
+  const auto dc0 = inst.infra.datacenter_of(static_cast<std::size_t>(genes[0]));
+  const auto dc1 = inst.infra.datacenter_of(static_cast<std::size_t>(genes[1]));
+  EXPECT_NE(dc0, dc1);
+}
+
+TEST(TabuRepair, FixesSameDatacenterGroup) {
+  const Instance inst = make_instance(
+      2, 2, {10.0, 10.0, 10.0},
+      {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}},
+      {{RelationKind::kSameDatacenter, {0, 1, 2}}});
+  TabuRepair repair(inst);
+  Rng rng(5);
+  std::vector<std::int32_t> genes = {0, 1, 3};  // VM 2 in DC 1
+  EXPECT_EQ(repair.repair(genes, rng), 0u);
+  const auto dc = inst.infra.datacenter_of(static_cast<std::size_t>(genes[0]));
+  for (std::int32_t g : genes) {
+    EXPECT_EQ(inst.infra.datacenter_of(static_cast<std::size_t>(g)), dc);
+  }
+}
+
+TEST(TabuRepair, ReassemblesScatteredSameServerGroup) {
+  // Regression: a 3-member same-server group scattered over three hosts
+  // cannot be fixed by member-at-a-time moves (the first mover is always
+  // invalid against its unmoved peers) — the repair must relocate the
+  // group atomically.
+  const Instance inst = make_instance(
+      1, 4, {10.0, 10.0, 10.0},
+      {{2.0, 2.0, 2.0}, {2.0, 2.0, 2.0}, {2.0, 2.0, 2.0}},
+      {{RelationKind::kSameServer, {0, 1, 2}}});
+  TabuRepair repair(inst);
+  Rng rng(41);
+  std::vector<std::int32_t> genes = {0, 1, 2};  // fully scattered
+  EXPECT_EQ(repair.repair(genes, rng), 0u);
+  EXPECT_EQ(genes[0], genes[1]);
+  EXPECT_EQ(genes[1], genes[2]);
+}
+
+TEST(TabuRepair, MovesSatisfiedGroupOffTooSmallServer) {
+  // Regression: a *satisfied* same-server group overloading a small host
+  // deadlocks individual shedding (each member's solo move would break
+  // the relation) — the capacity repair must relocate the whole group.
+  FabricConfig fc;
+  fc.datacenters = 1;
+  fc.leaves_per_dc = 1;
+  fc.servers_per_leaf = 2;
+  std::vector<Server> servers = {
+      test::make_server(0, {10.0, 10.0, 10.0}),   // too small for the pair
+      test::make_server(0, {30.0, 30.0, 30.0})};  // big enough
+  RequestSet requests;
+  requests.vms = {test::make_vm({8.0, 8.0, 8.0}),
+                  test::make_vm({8.0, 8.0, 8.0})};
+  requests.constraints.push_back({RelationKind::kSameServer, {0, 1}});
+  Instance inst(Infrastructure(fc, std::move(servers)),
+                std::move(requests));
+
+  TabuRepair repair(inst);
+  Rng rng(43);
+  std::vector<std::int32_t> genes = {0, 0};  // together but overloading
+  EXPECT_EQ(repair.repair(genes, rng), 0u);
+  EXPECT_EQ(genes[0], 1);  // whole group moved to the big server
+  EXPECT_EQ(genes[1], 1);
+}
+
+TEST(TabuRepair, FeasibleInputUntouched) {
+  const Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}});
+  TabuRepair repair(inst);
+  Rng rng(6);
+  std::vector<std::int32_t> genes = {0, 1};
+  const auto original = genes;
+  EXPECT_EQ(repair.repair(genes, rng), 0u);
+  EXPECT_EQ(genes, original);
+}
+
+TEST(TabuRepair, ImpossibleInstanceReportsRemainingViolations) {
+  // Total demand exceeds total capacity: full repair cannot exist.
+  const Instance inst = make_instance(
+      1, 1, {10.0, 10.0, 10.0}, {{8.0, 8.0, 8.0}, {8.0, 8.0, 8.0}});
+  TabuRepair repair(inst);
+  Rng rng(7);
+  std::vector<std::int32_t> genes = {0, 0};
+  EXPECT_GT(repair.repair(genes, rng), 0u);
+}
+
+// Property: repair output on generated scenarios is always at least as
+// feasible as the input, and typically fully feasible.
+class TabuRepairProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TabuRepairProperty, NeverIncreasesViolations) {
+  const Instance inst = make_random_instance(GetParam(), 16, 48);
+  const ConstraintChecker checker(inst);
+  TabuRepair repair(inst);
+  Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<std::int32_t> genes(inst.n());
+    for (auto& g : genes) {
+      g = static_cast<std::int32_t>(rng.uniform_index(inst.m()));
+    }
+    const std::uint32_t before =
+        checker.check(Placement(genes)).total();
+    const std::uint32_t after = repair.repair(genes, rng);
+    EXPECT_LE(after, before);
+    EXPECT_EQ(after, checker.check(Placement(genes)).total());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TabuRepairProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(TabuSearch, ImprovesCostAndStaysFeasible) {
+  const Instance inst = make_random_instance(21, 8, 24);
+  const ConstraintChecker checker(inst);
+  // Start from a deliberately spread-out feasible placement.
+  Placement start(inst.n());
+  Matrix<double> used(inst.m(), inst.h());
+  for (std::size_t k = 0; k < inst.n(); ++k) {
+    for (std::size_t j = 0; j < inst.m(); ++j) {
+      const std::size_t cand = (k + j) % inst.m();
+      if (checker.is_valid_allocation(start, used, k, cand)) {
+        start.assign(k, static_cast<std::int32_t>(cand));
+        for (std::size_t l = 0; l < inst.h(); ++l) {
+          used(cand, l) += inst.requests.vms[k].demand[l];
+        }
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(checker.check(start).feasible());
+
+  Evaluator evaluator(inst);
+  const double start_cost = evaluator.objectives(start).aggregate();
+
+  TabuSearch search(inst);
+  Rng rng(22);
+  const TabuSearchResult result = search.improve(start, rng);
+  EXPECT_LE(result.best_objectives.aggregate(), start_cost);
+  EXPECT_TRUE(checker.check(result.best).feasible());
+  EXPECT_GT(result.iterations, 0u);
+}
+
+TEST(TabuSearch, NoValidMovesTerminates) {
+  // Single server: no relocation possible; search must stop quickly.
+  const Instance inst =
+      make_instance(1, 1, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}});
+  Placement start(1);
+  start.assign(0, 0);
+  TabuSearchOptions options;
+  options.max_iterations = 1000;
+  options.stall_limit = 5;
+  TabuSearch search(inst, options);
+  Rng rng(23);
+  const TabuSearchResult result = search.improve(start, rng);
+  EXPECT_LE(result.iterations, 1000u);
+  EXPECT_EQ(result.best.server_of(0), 0);
+}
+
+}  // namespace
+}  // namespace iaas

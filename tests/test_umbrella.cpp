@@ -1,0 +1,60 @@
+// Compiles the umbrella header and exercises one representative symbol
+// from every layer — the "does the advertised public API actually hang
+// together" smoke test.
+#include "src/iaas.h"
+
+#include <gtest/gtest.h>
+
+namespace iaas {
+namespace {
+
+TEST(Umbrella, EveryLayerReachable) {
+  // common
+  Rng rng(1);
+  Matrix<double> m(2, 2, 0.0);
+  RunningStats stats;
+  stats.add(rng.next_double());
+
+  // topology
+  FabricConfig fc;
+  const Fabric fabric(fc);
+  EXPECT_GT(fabric.server_count(), 0u);
+
+  // workload + model
+  ScenarioConfig scenario = ScenarioConfig::paper_scale(16);
+  const ScenarioGenerator generator(scenario);
+  Instance instance = generator.generate(1);
+  EXPECT_TRUE(validate_instance(instance).empty());
+
+  // lp
+  const LinModel model(instance);
+  EXPECT_GT(model.variable_count(), 0u);
+
+  // ea + tabu + algo
+  Nsga3TabuAllocator allocator;
+  const AllocationResult result = allocator.allocate(instance, 2);
+  EXPECT_EQ(result.raw_violations.total(), 0u);
+  const NormalizedMetrics metrics = compute_metrics(instance, result);
+  EXPECT_GT(metrics.acceptance_rate, 0.0);
+
+  // availability
+  if (!instance.requests.constraints.empty()) {
+    const auto availability =
+        placement_availability(instance, result.placement, 0.05);
+    EXPECT_EQ(availability.size(), instance.requests.constraints.size());
+  }
+
+  // sim
+  const ReconfigurationPlan plan =
+      make_plan(instance, instance.previous, result.placement);
+  EXPECT_EQ(plan.boots(), result.vm_count - result.rejected);
+
+  // io
+  const Json roundtrip = instance_to_json(instance);
+  EXPECT_TRUE(roundtrip.contains("servers"));
+  const std::string dsl = render_request_dsl(instance.requests);
+  EXPECT_FALSE(dsl.empty());
+}
+
+}  // namespace
+}  // namespace iaas

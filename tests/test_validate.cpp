@@ -1,0 +1,94 @@
+// Whole-instance validation (untrusted scenario files).
+#include "model/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/generator.h"
+
+namespace iaas {
+namespace {
+
+using test::make_instance;
+
+TEST(Validate, CleanInstanceHasNoFindings) {
+  const Instance inst = make_instance(
+      2, 2, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}, {2.0, 2.0, 2.0}},
+      {{RelationKind::kDifferentDatacenters, {0, 1}}});
+  EXPECT_TRUE(validate_instance(inst).empty());
+}
+
+TEST(Validate, GeneratedScenariosAreClean) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    ScenarioConfig cfg = ScenarioConfig::paper_scale(32);
+    cfg.preplaced_fraction = 0.3;
+    const Instance inst = ScenarioGenerator(cfg).generate(seed);
+    const auto findings = validate_instance(inst);
+    EXPECT_TRUE(findings.empty())
+        << "seed " << seed << ": " << findings.front();
+  }
+}
+
+TEST(Validate, OversizedVmFlagged) {
+  const Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0}, {{99.0, 1.0, 1.0}});
+  const auto findings = validate_instance(inst);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].find("vm 0"), std::string::npos);
+  EXPECT_NE(findings[0].find("exceeds every server"), std::string::npos);
+}
+
+TEST(Validate, UnsatisfiableSameServerGroupFlagged) {
+  const Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0}, {{6.0, 1.0, 1.0}, {6.0, 1.0, 1.0}},
+      {{RelationKind::kSameServer, {0, 1}}});
+  const auto findings = validate_instance(inst);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].find("same-server group"), std::string::npos);
+}
+
+TEST(Validate, OversizedDifferentDatacentersGroupFlagged) {
+  const Instance inst = make_instance(
+      2, 2, {10.0, 10.0, 10.0},
+      {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}},
+      {{RelationKind::kDifferentDatacenters, {0, 1, 2}}});
+  const auto findings = validate_instance(inst);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].find("exceeds 2 datacenters"), std::string::npos);
+}
+
+TEST(Validate, ConflictingGroupsFlagged) {
+  const Instance inst = make_instance(
+      1, 4, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}},
+      {{RelationKind::kSameServer, {0, 1}},
+       {RelationKind::kDifferentServers, {0, 1}}});
+  const auto findings = validate_instance(inst);
+  ASSERT_FALSE(findings.empty());
+  bool found = false;
+  for (const std::string& f : findings) {
+    found = found || f.find("conflicting") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, BadPreviousPlacementFlagged) {
+  Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}});
+  inst.previous.assign(0, 99);  // unknown server
+  const auto findings = validate_instance(inst);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].find("unknown server"), std::string::npos);
+}
+
+TEST(Validate, InfeasiblePreviousPlacementFlagged) {
+  Instance inst = make_instance(
+      1, 1, {10.0, 10.0, 10.0}, {{6.0, 6.0, 6.0}, {6.0, 6.0, 6.0}});
+  inst.previous.assign(0, 0);
+  inst.previous.assign(1, 0);  // 12 > 10
+  const auto findings = validate_instance(inst);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].find("violates constraints"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iaas
