@@ -2,17 +2,22 @@
 
 namespace iaas {
 
-bool dominates(const Individual& a, const Individual& b) {
+bool dominates(std::span<const double> a, std::span<const double> b) {
   bool strictly_better = false;
-  for (std::size_t i = 0; i < a.objectives.size(); ++i) {
-    if (a.objectives[i] > b.objectives[i]) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) {
       return false;
     }
-    if (a.objectives[i] < b.objectives[i]) {
+    if (a[i] < b[i]) {
       strictly_better = true;
     }
   }
   return strictly_better;
+}
+
+bool dominates(const Individual& a, const Individual& b) {
+  return dominates(std::span<const double>(a.objectives),
+                   std::span<const double>(b.objectives));
 }
 
 bool constrained_dominates(const Individual& a, const Individual& b) {

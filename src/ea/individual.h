@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "model/objectives.h"
@@ -29,6 +30,10 @@ struct Individual {
 };
 
 using Population = std::vector<Individual>;
+
+// Pareto dominance on raw objective values (minimisation); the kernel the
+// Individual overload and the penalised comparators share.
+bool dominates(std::span<const double> a, std::span<const double> b);
 
 // Pareto dominance on the objective arrays (minimisation).
 bool dominates(const Individual& a, const Individual& b);

@@ -1,7 +1,9 @@
 #include "ea/nsga_base.h"
 
 #include <algorithm>
+#include <array>
 #include <optional>
+#include <span>
 
 #include "common/expect.h"
 #include "ea/archive.h"
@@ -41,13 +43,16 @@ DominanceFn NsgaBase::dominance() const {
     case ConstraintMode::kPenalty: {
       const double w = config_.penalty_weight;
       return [w](const Individual& a, const Individual& b) {
-        Individual pa = a;
-        Individual pb = b;
-        for (std::size_t i = 0; i < pa.objectives.size(); ++i) {
-          pa.objectives[i] += w * a.violations;
-          pb.objectives[i] += w * b.violations;
+        // Penalise stack copies of the objective arrays only — the gene
+        // vectors play no role in dominance.
+        std::array<double, ObjectiveVector::kCount> pa = a.objectives;
+        std::array<double, ObjectiveVector::kCount> pb = b.objectives;
+        for (std::size_t i = 0; i < pa.size(); ++i) {
+          pa[i] += w * a.violations;
+          pb[i] += w * b.violations;
         }
-        return dominates(pa, pb);
+        return dominates(std::span<const double>(pa),
+                         std::span<const double>(pb));
       };
     }
     case ConstraintMode::kExclude:

@@ -47,9 +47,11 @@ void AllocationProblem::evaluate(Individual& individual) const {
   IAAS_EXPECT(individual.genes.size() == gene_count(),
               "individual gene count mismatch");
   auto evaluator = acquire_evaluator();
-  // The Placement view copies the genes; cheap relative to evaluation.
-  const Placement placement(individual.genes);
-  const Evaluation eval = evaluator->evaluate(placement);
+  // Pooled evaluators keep their PlacementState accumulators across
+  // individuals (repair-mode populations cycle through here constantly),
+  // and evaluate_genes rebuilds in place — no per-call allocation or
+  // Placement copy.
+  const Evaluation eval = evaluator->evaluate_genes(individual.genes);
   individual.objectives = eval.objectives.as_array();
   individual.violations = eval.violations.total();
   individual.evaluated = true;

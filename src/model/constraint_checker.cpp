@@ -2,13 +2,9 @@
 
 #include <algorithm>
 
+#include "model/placement_state.h"
+
 namespace iaas {
-namespace {
-
-// Capacity comparisons tolerate tiny FP noise from accumulating demands.
-constexpr double kCapacityEps = 1e-9;
-
-}  // namespace
 
 void ConstraintChecker::compute_used(const Placement& placement,
                                      Matrix<double>& used) const {
@@ -170,6 +166,11 @@ bool ConstraintChecker::is_valid_allocation(const Placement& placement,
     }
   }
   return true;
+}
+
+bool ConstraintChecker::is_valid_move(const PlacementState& state,
+                                      std::size_t k, std::size_t j) const {
+  return is_valid_allocation(state.placement(), state.used(), k, j);
 }
 
 }  // namespace iaas

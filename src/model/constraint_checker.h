@@ -24,6 +24,12 @@
 
 namespace iaas {
 
+class PlacementState;
+
+// Capacity comparisons tolerate tiny FP noise from accumulating demands;
+// shared by the checker and the incremental PlacementState accumulators.
+inline constexpr double kCapacityEps = 1e-9;
+
 struct ViolationReport {
   std::uint32_t capacity_violations = 0;   // # exceeded (server, attribute)
   std::uint32_t relation_violations = 0;   // # violated constraint groups
@@ -56,6 +62,12 @@ class ConstraintChecker {
                                          const Matrix<double>& used,
                                          std::size_t k,
                                          std::size_t j) const;
+
+  // Delta-aware variant: reads the placement and the used-capacity
+  // accumulators maintained incrementally by a PlacementState, so callers
+  // scoring relocation moves never rebuild a `used` matrix.
+  [[nodiscard]] bool is_valid_move(const PlacementState& state, std::size_t k,
+                                   std::size_t j) const;
 
   // True when the relationship constraint `c` holds under `placement`
   // (among assigned members only).

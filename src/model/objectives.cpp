@@ -1,97 +1,18 @@
 #include "model/objectives.h"
 
-#include <algorithm>
-
-#include "model/load_model.h"
-
 namespace iaas {
 
-Evaluator::Evaluator(const Instance& instance, ObjectiveOptions options)
-    : instance_(&instance),
-      options_(options),
-      checker_(instance),
-      loads_(instance.m(), instance.h()),
-      qos_(instance.m(), instance.h()),
-      vms_on_server_(instance.m(), 0) {}
-
-Evaluation Evaluator::evaluate(const Placement& placement) {
+Evaluation Evaluator::evaluate_genes(std::span<const std::int32_t> genes) {
+  state_.rebuild(genes);
   Evaluation out;
-  compute_objectives(placement, out.objectives);
-  out.violations = checker_.check(placement);
+  out.objectives = state_.objectives();
+  out.violations = state_.violation_report();
   return out;
 }
 
 ObjectiveVector Evaluator::objectives(const Placement& placement) {
-  ObjectiveVector out;
-  compute_objectives(placement, out);
-  return out;
-}
-
-void Evaluator::compute_objectives(const Placement& placement,
-                                   ObjectiveVector& out) {
-  const Instance& inst = *instance_;
-  IAAS_EXPECT(placement.vm_count() == inst.n(),
-              "placement size mismatch with instance");
-
-  compute_loads(inst, placement, loads_);
-  compute_qos(inst, loads_, qos_);
-  std::fill(vms_on_server_.begin(), vms_on_server_.end(), 0u);
-
-  out = ObjectiveVector{};
-
-  for (std::size_t k = 0; k < inst.n(); ++k) {
-    if (!placement.is_assigned(k)) {
-      continue;
-    }
-    const auto j = static_cast<std::size_t>(placement.server_of(k));
-    const Server& server = inst.infra.server(j);
-    const VmRequest& vm = inst.requests.vms[k];
-    ++vms_on_server_[j];
-
-    // Term 1 (Eq. 22), usage part.
-    out.usage_cost += server.usage_cost;
-    if (options_.opex_per_vm) {
-      out.usage_cost += server.opex;
-    }
-
-    // Term 2 (Eq. 23): penalty when the worst attribute QoS on the host
-    // falls below the guarantee.
-    double worst_qos = 1.0;
-    for (std::size_t l = 0; l < inst.h(); ++l) {
-      worst_qos = std::min(worst_qos, qos_(j, l));
-    }
-    if (worst_qos < vm.qos_guarantee) {
-      out.downtime_cost +=
-          vm.downtime_cost * (1.0 - worst_qos / vm.qos_guarantee);
-    }
-
-    // Term 3 (Eq. 26): moved relative to the previous window.
-    if (inst.previous.is_assigned(k) &&
-        inst.previous.server_of(k) != placement.server_of(k)) {
-      double weight = 1.0;
-      if (options_.topology_migration_weight) {
-        const auto from =
-            static_cast<std::uint32_t>(inst.previous.server_of(k));
-        const auto to = static_cast<std::uint32_t>(placement.server_of(k));
-        // Normalise by the fabric diameter (6 hops) so the weight stays
-        // in (0, 1]; an on-host "move" costs nothing.
-        weight = static_cast<double>(inst.infra.fabric().hop_distance(
-                     from, to)) /
-                 6.0;
-      }
-      out.migration_cost += vm.migration_cost * weight;
-    }
-  }
-
-  // Term 1 (Eq. 22), exploitation part: by default E_j once per server in
-  // use (consolidation reading; see header note).
-  if (!options_.opex_per_vm) {
-    for (std::size_t j = 0; j < inst.m(); ++j) {
-      if (vms_on_server_[j] > 0) {
-        out.usage_cost += inst.infra.server(j).opex;
-      }
-    }
-  }
+  state_.rebuild(placement.genes());
+  return state_.objectives();
 }
 
 }  // namespace iaas

@@ -19,93 +19,73 @@
 //     guarantee (penalty proportional to the shortfall) and zero above.
 //
 // The aggregate Z uses equal weights, as the paper does "without loss of
-// generality".
+// generality".  The value types live in model/objective_types.h; the
+// formulas themselves are implemented once, in the incremental
+// PlacementState engine — the Evaluator here is its full-rebuild facade.
 #pragma once
 
-#include <array>
 #include <cstddef>
+#include <span>
 
 #include "common/matrix.h"
 #include "model/constraint_checker.h"
 #include "model/instance.h"
+#include "model/objective_types.h"
 #include "model/placement.h"
+#include "model/placement_state.h"
 
 namespace iaas {
-
-struct ObjectiveVector {
-  static constexpr std::size_t kCount = 3;
-
-  double usage_cost = 0.0;      // term 1, Eq. 22
-  double downtime_cost = 0.0;   // term 2, Eq. 23
-  double migration_cost = 0.0;  // term 3, Eq. 26
-
-  [[nodiscard]] double aggregate() const {
-    return usage_cost + downtime_cost + migration_cost;
-  }
-  [[nodiscard]] std::array<double, kCount> as_array() const {
-    return {usage_cost, downtime_cost, migration_cost};
-  }
-};
-
-// Stakeholder-tunable objective weights — the paper assigns equal
-// weights "without loss of generality [...] that can otherwise be tuned
-// and configured differently by the stakeholders".
-struct ObjectiveWeights {
-  double usage = 1.0;
-  double downtime = 1.0;
-  double migration = 1.0;
-};
-
-inline double weighted_aggregate(const ObjectiveVector& objectives,
-                                 const ObjectiveWeights& weights) {
-  return weights.usage * objectives.usage_cost +
-         weights.downtime * objectives.downtime_cost +
-         weights.migration * objectives.migration_cost;
-}
-
-struct ObjectiveOptions {
-  // Charge E_j per hosted VM (paper's literal Eq. 22) instead of once per
-  // used server.
-  bool opex_per_vm = false;
-  // Scale M_k by the spine-leaf hop distance between source and target
-  // server (extension; longer moves cross more fabric tiers).
-  bool topology_migration_weight = false;
-};
 
 struct Evaluation {
   ObjectiveVector objectives;
   ViolationReport violations;
 };
 
-// Evaluates placements against one instance.  Holds scratch matrices so a
-// hot loop (EA population evaluation) performs no per-call allocation;
-// create one Evaluator per thread.
+// Evaluates placements against one instance.  A thin wrapper that drives
+// a full PlacementState rebuild per call; the state's accumulators double
+// as reusable scratch, so a hot loop (EA population evaluation) performs
+// no per-call allocation.  Create one Evaluator per thread; callers that
+// score many single-VM relocations of the *same* placement should use
+// state() and PlacementState::try_move instead of repeated full calls.
 class Evaluator {
  public:
-  explicit Evaluator(const Instance& instance, ObjectiveOptions options = {});
+  explicit Evaluator(const Instance& instance, ObjectiveOptions options = {})
+      : state_(instance, options) {}
 
   // Objectives + violations in one pass (loads are shared work).
-  Evaluation evaluate(const Placement& placement);
+  Evaluation evaluate(const Placement& placement) {
+    return evaluate_genes(placement.genes());
+  }
+
+  // Same, straight from a gene vector (EA individuals) — avoids copying
+  // the genes into a temporary Placement.
+  Evaluation evaluate_genes(std::span<const std::int32_t> genes);
 
   // Objectives only.
   ObjectiveVector objectives(const Placement& placement);
 
   // Post-evaluate inspection (valid until the next evaluate call).
-  [[nodiscard]] const Matrix<double>& last_loads() const { return loads_; }
-  [[nodiscard]] const Matrix<double>& last_qos() const { return qos_; }
+  [[nodiscard]] const Matrix<double>& last_loads() const {
+    return state_.loads();
+  }
+  [[nodiscard]] const Matrix<double>& last_qos() const {
+    return state_.qos();
+  }
 
-  [[nodiscard]] const Instance& instance() const { return *instance_; }
-  [[nodiscard]] const ObjectiveOptions& options() const { return options_; }
+  // The underlying delta engine, positioned at the last evaluated
+  // placement.
+  [[nodiscard]] PlacementState& state() { return state_; }
+  [[nodiscard]] const PlacementState& state() const { return state_; }
+
+  [[nodiscard]] const Instance& instance() const {
+    return state_.instance();
+  }
+  [[nodiscard]] const ObjectiveOptions& options() const {
+    return state_.options();
+  }
 
  private:
-  void compute_objectives(const Placement& placement, ObjectiveVector& out);
-
-  const Instance* instance_;
-  ObjectiveOptions options_;
-  ConstraintChecker checker_;
-  Matrix<double> loads_;
-  Matrix<double> qos_;
-  std::vector<std::uint32_t> vms_on_server_;  // scratch: VM count per server
+  PlacementState state_;
 };
 
 }  // namespace iaas

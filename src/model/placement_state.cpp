@@ -1,0 +1,405 @@
+#include "model/placement_state.h"
+
+#include <algorithm>
+
+#include "model/load_model.h"
+
+namespace iaas {
+
+PlacementState::PlacementState(const Instance& instance,
+                               ObjectiveOptions options,
+                               StateTracking tracking)
+    : instance_(&instance),
+      options_(options),
+      tracking_(tracking),
+      checker_(instance),
+      placement_(instance.n()),
+      used_(instance.m(), instance.h()),
+      loads_(instance.m(), instance.h()),
+      qos_(instance.m(), instance.h()),
+      vms_on_(instance.m()),
+      pos_in_server_(instance.n(), 0),
+      server_usage_(instance.m(), 0.0),
+      server_downtime_(instance.m(), 0.0),
+      overload_count_(instance.m(), 0),
+      relation_ok_(instance.requests.constraints.size(), 1),
+      constraints_of_vm_(instance.n()),
+      scratch_row_(instance.h(), 0.0) {
+  const auto& constraints = instance.requests.constraints;
+  for (std::size_t c = 0; c < constraints.size(); ++c) {
+    for (std::uint32_t k : constraints[c].vms) {
+      constraints_of_vm_[k].push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+  rebuild_from_placement();
+}
+
+void PlacementState::rebuild(std::span<const std::int32_t> genes) {
+  IAAS_EXPECT(genes.size() == instance_->n(),
+              "placement size mismatch with instance");
+  std::vector<std::int32_t>& dst = placement_.genes();
+  std::copy(genes.begin(), genes.end(), dst.begin());
+  rebuild_from_placement();
+}
+
+void PlacementState::rebuild(const Placement& placement) {
+  rebuild(placement.genes());
+}
+
+void PlacementState::rebuild_from_placement() {
+  const Instance& inst = *instance_;
+  const std::size_t m = inst.m();
+  const std::size_t h = inst.h();
+
+  used_.fill(0.0);
+  for (auto& list : vms_on_) {
+    list.clear();
+  }
+  rejected_count_ = 0;
+  total_migration_ = 0.0;
+  for (std::size_t k = 0; k < inst.n(); ++k) {
+    if (!placement_.is_assigned(k)) {
+      ++rejected_count_;
+      continue;
+    }
+    const auto j = static_cast<std::size_t>(placement_.server_of(k));
+    IAAS_DEBUG_EXPECT(j < m, "placement references unknown server");
+    const VmRequest& vm = inst.requests.vms[k];
+    for (std::size_t l = 0; l < h; ++l) {
+      used_(j, l) += vm.demand[l];
+    }
+    pos_in_server_[k] = static_cast<std::uint32_t>(vms_on_[j].size());
+    vms_on_[j].push_back(static_cast<std::uint32_t>(k));
+    if (tracking_ == StateTracking::kFull) {
+      total_migration_ += migration_of(k, placement_.server_of(k));
+    }
+  }
+
+  total_usage_ = 0.0;
+  total_downtime_ = 0.0;
+  capacity_violations_ = 0;
+  std::fill(server_usage_.begin(), server_usage_.end(), 0.0);
+  std::fill(server_downtime_.begin(), server_downtime_.end(), 0.0);
+  std::fill(overload_count_.begin(), overload_count_.end(), 0u);
+  for (std::size_t j = 0; j < m; ++j) {
+    refresh_server(j);
+  }
+
+  relation_violations_ = 0;
+  const auto& constraints = inst.requests.constraints;
+  for (std::size_t c = 0; c < constraints.size(); ++c) {
+    const bool ok = checker_.relation_satisfied(constraints[c], placement_);
+    relation_ok_[c] = ok ? 1 : 0;
+    if (!ok) {
+      ++relation_violations_;
+    }
+  }
+
+  pending_.reset();
+  undo_.clear();
+}
+
+double PlacementState::usage_of(std::size_t j, std::size_t vm_count) const {
+  if (vm_count == 0) {
+    return 0.0;
+  }
+  const Server& server = instance_->infra.server(j);
+  const double count = static_cast<double>(vm_count);
+  double usage = count * server.usage_cost;
+  if (options_.opex_per_vm) {
+    usage += count * server.opex;
+  } else {
+    usage += server.opex;
+  }
+  return usage;
+}
+
+double PlacementState::migration_of(std::size_t k,
+                                    std::int32_t server) const {
+  if (server < 0) {
+    return 0.0;
+  }
+  const Instance& inst = *instance_;
+  if (!inst.previous.is_assigned(k) || inst.previous.server_of(k) == server) {
+    return 0.0;
+  }
+  double weight = 1.0;
+  if (options_.topology_migration_weight) {
+    const auto from = static_cast<std::uint32_t>(inst.previous.server_of(k));
+    const auto to = static_cast<std::uint32_t>(server);
+    // Normalise by the fabric diameter (6 hops) so the weight stays in
+    // (0, 1]; an on-host "move" costs nothing.
+    weight =
+        static_cast<double>(inst.infra.fabric().hop_distance(from, to)) / 6.0;
+  }
+  return inst.requests.vms[k].migration_cost * weight;
+}
+
+double PlacementState::downtime_penalty(std::size_t k,
+                                        double worst_qos) const {
+  const VmRequest& vm = instance_->requests.vms[k];
+  if (worst_qos >= vm.qos_guarantee) {
+    return 0.0;
+  }
+  return vm.downtime_cost * (1.0 - worst_qos / vm.qos_guarantee);
+}
+
+void PlacementState::refresh_server(std::size_t j) {
+  const Instance& inst = *instance_;
+  const std::size_t h = inst.h();
+  const Server& server = inst.infra.server(j);
+
+  if (tracking_ == StateTracking::kViolationsOnly) {
+    std::uint32_t overloads = 0;
+    for (std::size_t l = 0; l < h; ++l) {
+      if (used_(j, l) > server.effective_capacity(l) + kCapacityEps) {
+        ++overloads;
+      }
+    }
+    capacity_violations_ =
+        capacity_violations_ - overload_count_[j] + overloads;
+    overload_count_[j] = overloads;
+    return;
+  }
+
+  double worst_qos = 1.0;
+  std::uint32_t overloads = 0;
+  for (std::size_t l = 0; l < h; ++l) {
+    loads_(j, l) = used_(j, l) / server.capacity[l];
+    qos_(j, l) = qos_at_load(loads_(j, l), server.max_load[l],
+                             server.max_qos[l]);
+    worst_qos = std::min(worst_qos, qos_(j, l));
+    if (used_(j, l) > server.effective_capacity(l) + kCapacityEps) {
+      ++overloads;
+    }
+  }
+
+  double downtime = 0.0;
+  for (std::uint32_t k : vms_on_[j]) {
+    downtime += downtime_penalty(k, worst_qos);
+  }
+  const double usage = usage_of(j, vms_on_[j].size());
+
+  total_usage_ += usage - server_usage_[j];
+  total_downtime_ += downtime - server_downtime_[j];
+  capacity_violations_ =
+      capacity_violations_ - overload_count_[j] + overloads;
+  server_usage_[j] = usage;
+  server_downtime_[j] = downtime;
+  overload_count_[j] = overloads;
+}
+
+PlacementState::ServerEdit PlacementState::edit_server(
+    std::size_t j, std::size_t k, bool joining,
+    std::span<const double> row) const {
+  const Instance& inst = *instance_;
+  const std::size_t h = inst.h();
+  const Server& server = inst.infra.server(j);
+
+  ServerEdit edit;
+  double worst_qos = 1.0;
+  for (std::size_t l = 0; l < h; ++l) {
+    const double load = row[l] / server.capacity[l];
+    worst_qos = std::min(
+        worst_qos, qos_at_load(load, server.max_load[l], server.max_qos[l]));
+    if (row[l] > server.effective_capacity(l) + kCapacityEps) {
+      ++edit.overloads;
+    }
+  }
+
+  std::size_t count = vms_on_[j].size();
+  if (joining) {
+    edit.downtime += downtime_penalty(k, worst_qos);
+    ++count;
+  } else {
+    --count;
+  }
+  for (std::uint32_t member : vms_on_[j]) {
+    if (!joining && member == k) {
+      continue;
+    }
+    edit.downtime += downtime_penalty(member, worst_qos);
+  }
+  edit.usage = usage_of(j, count);
+  return edit;
+}
+
+ObjectiveDelta PlacementState::try_move(std::size_t k, std::int32_t target) {
+  IAAS_DEBUG_EXPECT(k < instance_->n(), "vm index out of range");
+  IAAS_DEBUG_EXPECT(target < static_cast<std::int32_t>(instance_->m()),
+                    "target server out of range");
+  const Instance& inst = *instance_;
+  const std::size_t h = inst.h();
+  const std::int32_t from = placement_.server_of(k);
+  pending_ = Move{k, target};
+
+  ObjectiveDelta delta;
+  delta.objectives = objectives();
+  if (from == target) {
+    return delta;
+  }
+  const VmRequest& vm = inst.requests.vms[k];
+
+  double usage_delta = 0.0;
+  double downtime_delta = 0.0;
+  double migration_delta = 0.0;
+  std::int32_t capacity_delta = 0;
+
+  if (tracking_ == StateTracking::kViolationsOnly) {
+    // Overload-count deltas only; the objective fields stay unspecified.
+    for (const std::int32_t side : {from, target}) {
+      if (side < 0) {
+        continue;
+      }
+      const auto j = static_cast<std::size_t>(side);
+      const Server& server = inst.infra.server(j);
+      const double sign = side == from ? -1.0 : 1.0;
+      std::uint32_t overloads = 0;
+      for (std::size_t l = 0; l < h; ++l) {
+        if (used_(j, l) + sign * vm.demand[l] >
+            server.effective_capacity(l) + kCapacityEps) {
+          ++overloads;
+        }
+      }
+      capacity_delta += static_cast<std::int32_t>(overloads) -
+                        static_cast<std::int32_t>(overload_count_[j]);
+    }
+  } else {
+    if (from >= 0) {
+      const auto a = static_cast<std::size_t>(from);
+      for (std::size_t l = 0; l < h; ++l) {
+        scratch_row_[l] = used_(a, l) - vm.demand[l];
+      }
+      const ServerEdit edit =
+          edit_server(a, k, /*joining=*/false, scratch_row_);
+      usage_delta += edit.usage - server_usage_[a];
+      downtime_delta += edit.downtime - server_downtime_[a];
+      capacity_delta += static_cast<std::int32_t>(edit.overloads) -
+                        static_cast<std::int32_t>(overload_count_[a]);
+    }
+    if (target >= 0) {
+      const auto b = static_cast<std::size_t>(target);
+      for (std::size_t l = 0; l < h; ++l) {
+        scratch_row_[l] = used_(b, l) + vm.demand[l];
+      }
+      const ServerEdit edit =
+          edit_server(b, k, /*joining=*/true, scratch_row_);
+      usage_delta += edit.usage - server_usage_[b];
+      downtime_delta += edit.downtime - server_downtime_[b];
+      capacity_delta += static_cast<std::int32_t>(edit.overloads) -
+                        static_cast<std::int32_t>(overload_count_[b]);
+    }
+    migration_delta = migration_of(k, target) - migration_of(k, from);
+  }
+
+  std::int32_t relation_delta = 0;
+  if (!constraints_of_vm_[k].empty()) {
+    // Evaluate k's constraints against the hypothetical placement; the
+    // temporary assignment is restored before returning.
+    placement_.assign(k, target);
+    const auto& constraints = inst.requests.constraints;
+    for (std::uint32_t c : constraints_of_vm_[k]) {
+      const bool ok = checker_.relation_satisfied(constraints[c], placement_);
+      relation_delta += (ok ? 0 : 1) - (relation_ok_[c] != 0 ? 0 : 1);
+    }
+    placement_.assign(k, from);
+  }
+
+  delta.objectives.usage_cost += usage_delta;
+  delta.objectives.downtime_cost += downtime_delta;
+  delta.objectives.migration_cost += migration_delta;
+  delta.aggregate_delta = usage_delta + downtime_delta + migration_delta;
+  delta.violations_delta = capacity_delta + relation_delta;
+  return delta;
+}
+
+void PlacementState::do_move(std::size_t k, std::int32_t target) {
+  const Instance& inst = *instance_;
+  const std::size_t h = inst.h();
+  const std::int32_t from = placement_.server_of(k);
+  if (from == target) {
+    return;
+  }
+  const VmRequest& vm = inst.requests.vms[k];
+
+  if (tracking_ == StateTracking::kFull) {
+    total_migration_ += migration_of(k, target) - migration_of(k, from);
+  }
+
+  if (from >= 0) {
+    const auto a = static_cast<std::size_t>(from);
+    std::vector<std::uint32_t>& list = vms_on_[a];
+    const std::uint32_t pos = pos_in_server_[k];
+    list[pos] = list.back();
+    pos_in_server_[list[pos]] = pos;
+    list.pop_back();
+    for (std::size_t l = 0; l < h; ++l) {
+      used_(a, l) -= vm.demand[l];
+    }
+  } else {
+    --rejected_count_;
+  }
+  placement_.assign(k, target);
+  if (target >= 0) {
+    const auto b = static_cast<std::size_t>(target);
+    pos_in_server_[k] = static_cast<std::uint32_t>(vms_on_[b].size());
+    vms_on_[b].push_back(static_cast<std::uint32_t>(k));
+    for (std::size_t l = 0; l < h; ++l) {
+      used_(b, l) += vm.demand[l];
+    }
+  } else {
+    ++rejected_count_;
+  }
+
+  if (from >= 0) {
+    refresh_server(static_cast<std::size_t>(from));
+  }
+  if (target >= 0) {
+    refresh_server(static_cast<std::size_t>(target));
+  }
+
+  const auto& constraints = inst.requests.constraints;
+  for (std::uint32_t c : constraints_of_vm_[k]) {
+    const bool ok = checker_.relation_satisfied(constraints[c], placement_);
+    if (ok && relation_ok_[c] == 0) {
+      --relation_violations_;
+    } else if (!ok && relation_ok_[c] != 0) {
+      ++relation_violations_;
+    }
+    relation_ok_[c] = ok ? 1 : 0;
+  }
+}
+
+void PlacementState::apply() {
+  IAAS_EXPECT(pending_.has_value(), "apply without a pending try_move");
+  const Move move = *pending_;
+  apply_move(move.vm, move.target);
+}
+
+void PlacementState::apply_move(std::size_t k, std::int32_t target) {
+  undo_.push_back(Move{k, placement_.server_of(k)});
+  do_move(k, target);
+  pending_.reset();
+}
+
+void PlacementState::revert() {
+  IAAS_EXPECT(!undo_.empty(), "revert without an applied move");
+  const Move move = undo_.back();
+  undo_.pop_back();
+  do_move(move.vm, move.target);
+}
+
+ViolationReport PlacementState::violation_report() const {
+  ViolationReport report;
+  report.capacity_violations = capacity_violations_;
+  report.relation_violations = relation_violations_;
+  report.rejected_vms = static_cast<std::uint32_t>(rejected_count_);
+  for (std::size_t j = 0; j < instance_->m(); ++j) {
+    if (overload_count_[j] > 0) {
+      report.overloaded_servers.push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+  return report;
+}
+
+}  // namespace iaas

@@ -1,0 +1,185 @@
+// Incremental (delta) evaluation engine for single-VM relocations.
+//
+// A PlacementState owns one placement plus every accumulator needed to
+// produce its objectives (Eqs. 22-26) and violation counts (Eqs. 16-21):
+// per-server allocated demand, normalised loads and QoS, per-server usage
+// and downtime cost terms, the per-server VM lists, the per-constraint
+// satisfied flags, and the three objective totals.  Invariants (see
+// DESIGN.md §7): after construction, rebuild(), or any apply/revert, all
+// accumulators equal what a from-scratch Evaluator::evaluate of the same
+// placement would produce.
+//
+// Relocating VM k from server a to server b only changes rows a and b of
+// every per-server quantity, the constraints that mention k, and k's own
+// migration term — so try_move scores a candidate move in
+// O(h + |VMs on a| + |VMs on b| + |constraints of k|) instead of the
+// O(n·m·h) full rebuild.  This is the standard scaling lever of the VM
+// placement literature (move-based neighbourhoods with incremental
+// objective bookkeeping) applied to the paper's tabu + NSGA-III stack.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "model/constraint_checker.h"
+#include "model/instance.h"
+#include "model/objective_types.h"
+#include "model/placement.h"
+
+namespace iaas {
+
+// What a PlacementState keeps current.  kViolationsOnly maintains just the
+// demand accumulators and violation counters — the repair operators need
+// nothing else, and skipping the per-move QoS/downtime/usage refresh (an
+// exp() per attribute per affected server) keeps repair as cheap as the
+// capacity-only bookkeeping it replaced.  In that mode loads(), qos(),
+// objectives(), aggregate() and the objective fields of try_move results
+// are unspecified.
+enum class StateTracking { kFull, kViolationsOnly };
+
+// Outcome of scoring one candidate relocation.
+struct ObjectiveDelta {
+  // Objective totals as if the move were applied.
+  ObjectiveVector objectives;
+  // objectives.aggregate() minus the current aggregate.
+  double aggregate_delta = 0.0;
+  // Change in capacity + relationship violations (negative = repairs).
+  std::int32_t violations_delta = 0;
+};
+
+class PlacementState {
+ public:
+  explicit PlacementState(const Instance& instance,
+                          ObjectiveOptions options = {},
+                          StateTracking tracking = StateTracking::kFull);
+
+  // Full O(n + m·h + constraints) rebuild — the only non-incremental
+  // path; every other member keeps the accumulators in sync.
+  void rebuild(std::span<const std::int32_t> genes);
+  void rebuild(const Placement& placement);
+
+  // Scores relocating VM k to `target` (server id or Placement::kRejected)
+  // without changing the observable state; the move becomes "pending" so a
+  // following apply() can commit it.
+  ObjectiveDelta try_move(std::size_t k, std::int32_t target);
+
+  // Commits the pending move from the last try_move.
+  void apply();
+  // Commits an arbitrary move directly (try_move is not required first).
+  void apply_move(std::size_t k, std::int32_t target);
+  // Undoes applied moves in LIFO order (any depth, back to the last
+  // rebuild).
+  void revert();
+  [[nodiscard]] std::size_t applied_moves() const { return undo_.size(); }
+
+  // --- objective accessors ---
+  [[nodiscard]] ObjectiveVector objectives() const {
+    ObjectiveVector out;
+    out.usage_cost = total_usage_;
+    out.downtime_cost = total_downtime_;
+    out.migration_cost = total_migration_;
+    return out;
+  }
+  [[nodiscard]] double aggregate() const {
+    return total_usage_ + total_downtime_ + total_migration_;
+  }
+
+  // --- violation accessors ---
+  [[nodiscard]] std::uint32_t capacity_violations() const {
+    return capacity_violations_;
+  }
+  [[nodiscard]] std::uint32_t relation_violations() const {
+    return relation_violations_;
+  }
+  [[nodiscard]] std::uint32_t total_violations() const {
+    return capacity_violations_ + relation_violations_;
+  }
+  [[nodiscard]] std::size_t rejected_count() const { return rejected_count_; }
+  [[nodiscard]] bool server_overloaded(std::size_t j) const {
+    return overload_count_[j] > 0;
+  }
+  // Full report in the ConstraintChecker::check format (builds the
+  // overloaded-server list, O(m)).
+  [[nodiscard]] ViolationReport violation_report() const;
+
+  // --- structure accessors ---
+  [[nodiscard]] const Placement& placement() const { return placement_; }
+  // Allocated demand per (server, attribute) — the same accumulator the
+  // repair operators and ConstraintChecker::is_valid_move read.
+  [[nodiscard]] const Matrix<double>& used() const { return used_; }
+  [[nodiscard]] const Matrix<double>& loads() const { return loads_; }
+  [[nodiscard]] const Matrix<double>& qos() const { return qos_; }
+  [[nodiscard]] std::span<const std::uint32_t> vms_on(std::size_t j) const {
+    return vms_on_[j];
+  }
+
+  [[nodiscard]] const Instance& instance() const { return *instance_; }
+  [[nodiscard]] const ObjectiveOptions& options() const { return options_; }
+  [[nodiscard]] StateTracking tracking() const { return tracking_; }
+
+ private:
+  struct ServerEdit {
+    double usage = 0.0;         // new per-server usage term
+    double downtime = 0.0;      // new per-server downtime term
+    std::uint32_t overloads = 0;  // new exceeded-attribute count
+  };
+
+  void rebuild_from_placement();
+  // Recomputes loads/qos rows, overload count, usage and downtime terms of
+  // server j from used_ and vms_on_, updating the totals.
+  void refresh_server(std::size_t j);
+  // Commits a move into every accumulator (no undo bookkeeping).
+  void do_move(std::size_t k, std::int32_t target);
+
+  // Hypothetical per-server terms after VM k joins/leaves server j; the
+  // used row with k's demand applied with `sign` is read from `row`.
+  [[nodiscard]] ServerEdit edit_server(std::size_t j, std::size_t k,
+                                       bool joining,
+                                       std::span<const double> row) const;
+
+  [[nodiscard]] double usage_of(std::size_t j, std::size_t vm_count) const;
+  [[nodiscard]] double migration_of(std::size_t k, std::int32_t server) const;
+  [[nodiscard]] double downtime_penalty(std::size_t k,
+                                        double worst_qos) const;
+
+  const Instance* instance_;
+  ObjectiveOptions options_;
+  StateTracking tracking_;
+  ConstraintChecker checker_;
+
+  Placement placement_;
+  Matrix<double> used_;   // raw allocated demand per (server, attribute)
+  Matrix<double> loads_;  // used / capacity (Eq. 25)
+  Matrix<double> qos_;    // Eq. 24 of loads_
+
+  std::vector<std::vector<std::uint32_t>> vms_on_;  // per-server VM lists
+  std::vector<std::uint32_t> pos_in_server_;  // k -> index in its host list
+
+  std::vector<double> server_usage_;     // Eq. 22 term per server
+  std::vector<double> server_downtime_;  // Eq. 23 term per server
+  std::vector<std::uint32_t> overload_count_;  // exceeded attrs per server
+
+  double total_usage_ = 0.0;
+  double total_downtime_ = 0.0;
+  double total_migration_ = 0.0;
+
+  std::vector<std::uint8_t> relation_ok_;  // per-constraint satisfied flag
+  std::vector<std::vector<std::uint32_t>> constraints_of_vm_;
+  std::uint32_t capacity_violations_ = 0;
+  std::uint32_t relation_violations_ = 0;
+  std::size_t rejected_count_ = 0;
+
+  struct Move {
+    std::size_t vm = 0;
+    std::int32_t target = 0;
+  };
+  std::optional<Move> pending_;
+  std::vector<Move> undo_;  // target = the server to move back to
+
+  std::vector<double> scratch_row_;  // h-sized hypothetical used row
+};
+
+}  // namespace iaas

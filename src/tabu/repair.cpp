@@ -12,14 +12,11 @@ TabuRepair::TabuRepair(const Instance& instance, TabuRepairOptions options)
     : instance_(&instance),
       options_(options),
       checker_(instance),
-      neighbour_order_(instance.m()) {}
-
-const std::vector<std::uint32_t>& TabuRepair::neighbours_of(
-    std::size_t server) const {
-  auto& order = neighbour_order_[server];
-  if (order.empty()) {
-    const Fabric& fabric = instance_->infra.fabric();
-    order.resize(instance_->m());
+      neighbour_order_(instance.m()) {
+  const Fabric& fabric = instance.infra.fabric();
+  for (std::size_t server = 0; server < instance.m(); ++server) {
+    auto& order = neighbour_order_[server];
+    order.resize(instance.m());
     std::iota(order.begin(), order.end(), 0u);
     const auto src = static_cast<std::uint32_t>(server);
     std::stable_sort(order.begin(), order.end(),
@@ -28,14 +25,17 @@ const std::vector<std::uint32_t>& TabuRepair::neighbours_of(
                               fabric.hop_distance(src, b);
                      });
   }
-  return order;
 }
 
-std::int32_t TabuRepair::find_neighbour(const Placement& placement,
-                                        const Matrix<double>& used,
+const std::vector<std::uint32_t>& TabuRepair::neighbours_of(
+    std::size_t server) const {
+  return neighbour_order_[server];
+}
+
+std::int32_t TabuRepair::find_neighbour(const PlacementState& state,
                                         std::size_t k,
                                         const TabuList& tabu) const {
-  const std::int32_t current = placement.server_of(k);
+  const std::int32_t current = state.placement().server_of(k);
   const std::size_t anchor =
       current >= 0 ? static_cast<std::size_t>(current) : 0;
   for (std::uint32_t j : neighbours_of(anchor)) {
@@ -46,17 +46,18 @@ std::int32_t TabuRepair::find_neighbour(const Placement& placement,
                      static_cast<std::int32_t>(j))) {
       continue;
     }
-    if (checker_.is_valid_allocation(placement, used, k, j)) {
+    if (checker_.is_valid_move(state, k, j)) {
       return static_cast<std::int32_t>(j);
     }
   }
   return Placement::kRejected;
 }
 
-bool TabuRepair::relocate_group(Placement& placement, Matrix<double>& used,
+bool TabuRepair::relocate_group(PlacementState& state,
                                 const std::vector<std::uint32_t>& vms,
                                 std::int32_t target, TabuList& tabu) const {
   const Instance& inst = *instance_;
+  const Placement& placement = state.placement();
   const auto t = static_cast<std::size_t>(target);
   const Server& server = inst.infra.server(t);
 
@@ -71,7 +72,8 @@ bool TabuRepair::relocate_group(Placement& placement, Matrix<double>& used,
     if (incoming == 0.0) {
       continue;
     }
-    if (used(t, l) + incoming > server.effective_capacity(l) + 1e-9) {
+    if (state.used()(t, l) + incoming >
+        server.effective_capacity(l) + kCapacityEps) {
       return false;
     }
   }
@@ -85,86 +87,50 @@ bool TabuRepair::relocate_group(Placement& placement, Matrix<double>& used,
       continue;
     }
     const std::int32_t from = placement.server_of(k);
-    move_vm(placement, used, k, target);
+    state.apply_move(k, target);
     tabu.forbid(k, from);
     moved = true;
   }
   return moved;
 }
 
-void TabuRepair::move_vm(Placement& placement, Matrix<double>& used,
-                         std::size_t k, std::int32_t to) const {
-  const VmRequest& vm = instance_->requests.vms[k];
-  const std::int32_t from = placement.server_of(k);
-  if (from >= 0) {
-    for (std::size_t l = 0; l < instance_->h(); ++l) {
-      used(static_cast<std::size_t>(from), l) -= vm.demand[l];
-    }
-  }
-  placement.assign(k, to);
-  if (to >= 0) {
-    for (std::size_t l = 0; l < instance_->h(); ++l) {
-      used(static_cast<std::size_t>(to), l) += vm.demand[l];
-    }
-  }
-}
-
-bool TabuRepair::repair_capacity(Placement& placement, Matrix<double>& used,
-                                 TabuList& tabu, Rng& rng) const {
+bool TabuRepair::repair_capacity(PlacementState& state, TabuList& tabu,
+                                 Rng& rng) const {
   const Instance& inst = *instance_;
   bool moved_any = false;
 
-  // exceedingDetection (Fig. 5 line 2): servers whose allocated demand
-  // exceeds effective capacity on any attribute.
-  auto exceeds = [&](std::size_t j) {
-    const Server& server = inst.infra.server(j);
-    for (std::size_t l = 0; l < inst.h(); ++l) {
-      if (used(j, l) > server.effective_capacity(l) + 1e-9) {
-        return true;
-      }
-    }
-    return false;
-  };
-
-  // VMs grouped per server so overloaded hosts can shed load until they
-  // fit again.
-  std::vector<std::vector<std::uint32_t>> vms_on(inst.m());
-  for (std::size_t k = 0; k < inst.n(); ++k) {
-    if (placement.is_assigned(k)) {
-      vms_on[static_cast<std::size_t>(placement.server_of(k))].push_back(
-          static_cast<std::uint32_t>(k));
-    }
-  }
-
   for (std::size_t j = 0; j < inst.m(); ++j) {
-    if (!exceeds(j)) {
+    // exceedingDetection (Fig. 5 line 2): the state's overload flags are
+    // kept current by every apply_move, so no re-scan is needed.
+    if (!state.server_overloaded(j)) {
       continue;
     }
     // Shed in random order so repeated repairs explore different subsets
     // (the stochastic component of the tabu walk).
-    std::vector<std::uint32_t> shed_order = vms_on[j];
+    const auto members = state.vms_on(j);
+    std::vector<std::uint32_t> shed_order(members.begin(), members.end());
     rng.shuffle(shed_order);
     for (std::uint32_t k : shed_order) {
-      if (!exceeds(j)) {
+      if (!state.server_overloaded(j)) {
         break;  // server fits again: stop evicting (refinement over Fig. 5)
       }
-      const std::int32_t target = find_neighbour(placement, used, k, tabu);
+      const std::int32_t target = find_neighbour(state, k, tabu);
       if (target == Placement::kRejected) {
         continue;  // no valid neighbour for this VM; try shedding others
       }
-      const std::int32_t from = placement.server_of(k);
-      move_vm(placement, used, k, target);
+      const std::int32_t from = state.placement().server_of(k);
+      state.apply_move(k, target);
       tabu.forbid(k, from);  // don't bounce straight back
       moved_any = true;
     }
 
     // Deadlock breaker: a satisfied same-server group on a too-small
     // host cannot shed members individually (each move would break the
-    // relation and is_valid_allocation vetoes it) — relocate the whole
-    // group to a bigger server instead.
-    if (exceeds(j)) {
+    // relation and is_valid_move vetoes it) — relocate the whole group
+    // to a bigger server instead.
+    if (state.server_overloaded(j)) {
       for (const PlacementConstraint& c : inst.requests.constraints) {
-        if (!exceeds(j)) {
+        if (!state.server_overloaded(j)) {
           break;
         }
         if (c.kind != RelationKind::kSameServer) {
@@ -172,8 +138,8 @@ bool TabuRepair::repair_capacity(Placement& placement, Matrix<double>& used,
         }
         const bool anchored_here = std::any_of(
             c.vms.begin(), c.vms.end(), [&](std::uint32_t k) {
-              return placement.is_assigned(k) &&
-                     placement.server_of(k) ==
+              return state.placement().is_assigned(k) &&
+                     state.placement().server_of(k) ==
                          static_cast<std::int32_t>(j);
             });
         if (!anchored_here) {
@@ -183,7 +149,7 @@ bool TabuRepair::repair_capacity(Placement& placement, Matrix<double>& used,
           if (target == j) {
             continue;
           }
-          if (relocate_group(placement, used, c.vms,
+          if (relocate_group(state, c.vms,
                              static_cast<std::int32_t>(target), tabu)) {
             moved_any = true;
             break;
@@ -195,13 +161,13 @@ bool TabuRepair::repair_capacity(Placement& placement, Matrix<double>& used,
   return moved_any;
 }
 
-bool TabuRepair::repair_relations(Placement& placement, Matrix<double>& used,
-                                  TabuList& tabu, Rng& rng) const {
+bool TabuRepair::repair_relations(PlacementState& state, TabuList& tabu,
+                                  Rng& rng) const {
   const Instance& inst = *instance_;
   bool moved_any = false;
 
   for (const PlacementConstraint& c : inst.requests.constraints) {
-    if (checker_.relation_satisfied(c, placement)) {
+    if (checker_.relation_satisfied(c, state.placement())) {
       continue;
     }
     switch (c.kind) {
@@ -213,8 +179,8 @@ bool TabuRepair::repair_relations(Placement& placement, Matrix<double>& used,
         // then the full fabric-ordered neighbour list.
         std::vector<std::int32_t> anchors;
         for (std::uint32_t anchor_vm : c.vms) {
-          if (placement.is_assigned(anchor_vm)) {
-            anchors.push_back(placement.server_of(anchor_vm));
+          if (state.placement().is_assigned(anchor_vm)) {
+            anchors.push_back(state.placement().server_of(anchor_vm));
           }
         }
         if (!anchors.empty()) {
@@ -224,7 +190,7 @@ bool TabuRepair::repair_relations(Placement& placement, Matrix<double>& used,
           }
         }
         for (const std::int32_t anchor : anchors) {
-          if (relocate_group(placement, used, c.vms, anchor, tabu)) {
+          if (relocate_group(state, c.vms, anchor, tabu)) {
             moved_any = true;
             break;
           }
@@ -236,18 +202,19 @@ bool TabuRepair::repair_relations(Placement& placement, Matrix<double>& used,
         // stragglers to any valid server inside it.
         std::vector<std::size_t> count(inst.g(), 0);
         for (std::uint32_t k : c.vms) {
-          if (placement.is_assigned(k)) {
+          if (state.placement().is_assigned(k)) {
             ++count[inst.infra.datacenter_of(
-                static_cast<std::size_t>(placement.server_of(k)))];
+                static_cast<std::size_t>(state.placement().server_of(k)))];
           }
         }
         const std::size_t anchor_dc = static_cast<std::size_t>(
             std::max_element(count.begin(), count.end()) - count.begin());
         for (std::uint32_t k : c.vms) {
-          if (!placement.is_assigned(k)) {
+          if (!state.placement().is_assigned(k)) {
             continue;
           }
-          const auto cur = static_cast<std::size_t>(placement.server_of(k));
+          const auto cur =
+              static_cast<std::size_t>(state.placement().server_of(k));
           if (inst.infra.datacenter_of(cur) == anchor_dc) {
             continue;
           }
@@ -255,8 +222,8 @@ bool TabuRepair::repair_relations(Placement& placement, Matrix<double>& used,
             if (inst.infra.datacenter_of(j) != anchor_dc) {
               continue;
             }
-            if (checker_.is_valid_allocation(placement, used, k, j)) {
-              move_vm(placement, used, k, static_cast<std::int32_t>(j));
+            if (checker_.is_valid_move(state, k, j)) {
+              state.apply_move(k, static_cast<std::int32_t>(j));
               tabu.forbid(k, static_cast<std::int32_t>(cur));
               moved_any = true;
               break;
@@ -268,16 +235,16 @@ bool TabuRepair::repair_relations(Placement& placement, Matrix<double>& used,
       case RelationKind::kDifferentServers:
       case RelationKind::kDifferentDatacenters: {
         // Keep the first occupant of each server/DC; move the duplicates
-        // to the nearest valid alternative (is_valid_allocation enforces
-        // the anti-affinity against the remaining members).
+        // to the nearest valid alternative (is_valid_move enforces the
+        // anti-affinity against the remaining members).
         std::vector<std::uint32_t> members(c.vms);
         rng.shuffle(members);
         std::vector<std::int32_t> taken;
         for (std::uint32_t k : members) {
-          if (!placement.is_assigned(k)) {
+          if (!state.placement().is_assigned(k)) {
             continue;
           }
-          const std::int32_t cur = placement.server_of(k);
+          const std::int32_t cur = state.placement().server_of(k);
           const std::int32_t slot =
               c.kind == RelationKind::kDifferentServers
                   ? cur
@@ -287,12 +254,11 @@ bool TabuRepair::repair_relations(Placement& placement, Matrix<double>& used,
             taken.push_back(slot);
             continue;
           }
-          const std::int32_t target =
-              find_neighbour(placement, used, k, tabu);
+          const std::int32_t target = find_neighbour(state, k, tabu);
           if (target == Placement::kRejected) {
             continue;
           }
-          move_vm(placement, used, k, target);
+          state.apply_move(k, target);
           tabu.forbid(k, cur);
           moved_any = true;
           const std::int32_t new_slot =
@@ -309,27 +275,31 @@ bool TabuRepair::repair_relations(Placement& placement, Matrix<double>& used,
   return moved_any;
 }
 
-std::uint32_t TabuRepair::repair(std::vector<std::int32_t>& genes, Rng& rng) {
+std::uint32_t TabuRepair::repair(std::vector<std::int32_t>& genes,
+                                 Rng& rng) const {
   const Instance& inst = *instance_;
   IAAS_EXPECT(genes.size() == inst.n(), "gene count mismatch with instance");
 
-  Placement placement(genes);
+  // Per-call state keeps repair() reentrant; the single rebuild here is
+  // the last full evaluation — all subsequent violation counts come from
+  // the delta accumulators.  Repair never reads objectives, so the state
+  // tracks violations only (no QoS/downtime refresh per move).
+  PlacementState state(inst, {}, StateTracking::kViolationsOnly);
+  state.rebuild(genes);
   // Fast path: feasible individuals pass through untouched (the paper
   // only treats parents that "do not respect users constraints").
-  if (checker_.check(placement).feasible()) {
+  if (state.total_violations() == 0) {
     return 0;
   }
-  Matrix<double> used;
-  checker_.compute_used(placement, used);
   TabuList tabu(options_.tabu_tenure);
 
-  std::uint32_t remaining = 0;
+  std::uint32_t remaining = state.total_violations();
   for (std::size_t pass = 0; pass < options_.max_passes; ++pass) {
-    bool moved = repair_capacity(placement, used, tabu, rng);
+    bool moved = repair_capacity(state, tabu, rng);
     if (options_.fix_relations) {
-      moved = repair_relations(placement, used, tabu, rng) || moved;
+      moved = repair_relations(state, tabu, rng) || moved;
     }
-    remaining = checker_.check(placement).total();
+    remaining = state.total_violations();
     if (remaining == 0 || !moved) {
       break;
     }
@@ -338,13 +308,13 @@ std::uint32_t TabuRepair::repair(std::vector<std::int32_t>& genes, Rng& rng) {
     // Last resort: the tabu memory itself may be blocking the only valid
     // moves — clear it and sweep once more unrestricted.
     tabu.clear();
-    repair_capacity(placement, used, tabu, rng);
+    repair_capacity(state, tabu, rng);
     if (options_.fix_relations) {
-      repair_relations(placement, used, tabu, rng);
+      repair_relations(state, tabu, rng);
     }
-    remaining = checker_.check(placement).total();
+    remaining = state.total_violations();
   }
-  genes = placement.genes();
+  genes = state.placement().genes();
   return remaining;
 }
 

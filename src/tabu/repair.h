@@ -12,15 +12,20 @@
 // Relationship groups (Eqs. 9-12) are repaired after capacity: members of
 // a violated group are re-anchored onto a server/datacenter that can
 // legally take them.
+//
+// Each repair() call drives one PlacementState (DESIGN.md §7): allocated
+// capacity, overload flags, and violation counts are maintained
+// incrementally across relocations, so no pass re-derives the m×h `used`
+// matrix or re-runs a full constraint check.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
-#include "common/matrix.h"
 #include "common/rng.h"
 #include "model/constraint_checker.h"
 #include "model/instance.h"
+#include "model/placement_state.h"
 
 namespace iaas {
 
@@ -36,7 +41,9 @@ class TabuRepair {
 
   // Repairs genes in place toward feasibility; returns the number of
   // constraint violations remaining afterwards (0 = fully repaired).
-  std::uint32_t repair(std::vector<std::int32_t>& genes, Rng& rng);
+  // Safe to call concurrently from evaluation threads: all shared members
+  // are immutable after construction.
+  std::uint32_t repair(std::vector<std::int32_t>& genes, Rng& rng) const;
 
   [[nodiscard]] const TabuRepairOptions& options() const { return options_; }
 
@@ -44,31 +51,29 @@ class TabuRepair {
   // findNeighbour (Fig. 6): the first server, by fabric distance from the
   // current host, where VM k is a valid allocation and the move is not
   // tabu; returns kRejected-like -1 when none exists.
-  std::int32_t find_neighbour(const Placement& placement,
-                              const Matrix<double>& used, std::size_t k,
+  std::int32_t find_neighbour(const PlacementState& state, std::size_t k,
                               const class TabuList& tabu) const;
-
-  void move_vm(Placement& placement, Matrix<double>& used, std::size_t k,
-               std::int32_t to) const;
 
   // Move a whole VM group onto `target` if its aggregate demand fits
   // (atomic relocation — required for same-server groups, whose members
   // cannot legally move one at a time).  Returns true when members moved.
-  bool relocate_group(Placement& placement, Matrix<double>& used,
+  bool relocate_group(PlacementState& state,
                       const std::vector<std::uint32_t>& vms,
                       std::int32_t target, class TabuList& tabu) const;
 
-  bool repair_capacity(Placement& placement, Matrix<double>& used,
-                       class TabuList& tabu, Rng& rng) const;
-  bool repair_relations(Placement& placement, Matrix<double>& used,
-                        class TabuList& tabu, Rng& rng) const;
+  bool repair_capacity(PlacementState& state, class TabuList& tabu,
+                       Rng& rng) const;
+  bool repair_relations(PlacementState& state, class TabuList& tabu,
+                        Rng& rng) const;
 
   const Instance* instance_;
   TabuRepairOptions options_;
   ConstraintChecker checker_;
   // Candidate server ordering per source server (by fabric hop distance),
-  // built lazily and cached: the heart of the "nearest neighbour" scan.
-  mutable std::vector<std::vector<std::uint32_t>> neighbour_order_;
+  // precomputed in the constructor: the heart of the "nearest neighbour"
+  // scan, immutable afterwards so one repair functor can be shared across
+  // evaluation threads.
+  std::vector<std::vector<std::uint32_t>> neighbour_order_;
   const std::vector<std::uint32_t>& neighbours_of(std::size_t server) const;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/expect.h"
 #include "model/constraint_checker.h"
+#include "model/placement_state.h"
 #include "tabu/tabu_list.h"
 
 namespace iaas {
@@ -19,18 +20,17 @@ TabuSearchResult TabuSearch::improve(const Placement& start, Rng& rng) {
   IAAS_EXPECT(start.vm_count() == inst.n(),
               "placement size mismatch with instance");
 
-  Evaluator evaluator(inst, objective_options_);
   ConstraintChecker checker(inst);
   TabuList tabu(options_.tenure);
 
-  Placement current = start;
-  Matrix<double> used;
-  checker.compute_used(current, used);
-  ObjectiveVector current_obj = evaluator.objectives(current);
+  // One delta engine carries the walk; every candidate move is scored via
+  // try_move in O(affected servers) instead of a full re-evaluation.
+  PlacementState state(inst, objective_options_);
+  state.rebuild(start);
 
   TabuSearchResult result;
-  result.best = current;
-  result.best_objectives = current_obj;
+  result.best = start;
+  result.best_objectives = state.objectives();
 
   std::size_t stall = 0;
   for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
@@ -40,40 +40,33 @@ TabuSearchResult TabuSearch::improve(const Placement& start, Rng& rng) {
     double best_move_cost = std::numeric_limits<double>::infinity();
     std::size_t best_vm = 0;
     std::int32_t best_target = Placement::kRejected;
-    ObjectiveVector best_move_obj;
 
     for (std::size_t s = 0; s < options_.neighbourhood_samples; ++s) {
       const std::size_t k = rng.uniform_index(inst.n());
-      if (!current.is_assigned(k)) {
+      if (!state.placement().is_assigned(k)) {
         continue;
       }
       const auto j =
           static_cast<std::int32_t>(rng.uniform_index(inst.m()));
-      if (j == current.server_of(k)) {
+      if (j == state.placement().server_of(k)) {
         continue;
       }
-      if (!checker.is_valid_allocation(current, used,
-                                       k, static_cast<std::size_t>(j))) {
+      if (!checker.is_valid_move(state, k, static_cast<std::size_t>(j))) {
         continue;
       }
-      // Trial evaluation (full objective; the aggregate is the guide).
-      const std::int32_t old = current.server_of(k);
-      current.assign(k, j);
-      const ObjectiveVector trial = evaluator.objectives(current);
-      current.assign(k, old);
+      const ObjectiveDelta trial = state.try_move(k, j);
 
       const bool is_tabu = tabu.is_tabu(static_cast<std::uint32_t>(k), j);
       const bool aspires =
           options_.aspiration &&
-          trial.aggregate() < result.best_objectives.aggregate();
+          trial.objectives.aggregate() < result.best_objectives.aggregate();
       if (is_tabu && !aspires) {
         continue;
       }
-      if (trial.aggregate() < best_move_cost) {
-        best_move_cost = trial.aggregate();
+      if (trial.objectives.aggregate() < best_move_cost) {
+        best_move_cost = trial.objectives.aggregate();
         best_vm = k;
         best_target = j;
-        best_move_obj = trial;
       }
     }
 
@@ -88,20 +81,13 @@ TabuSearchResult TabuSearch::improve(const Placement& start, Rng& rng) {
     // Apply the move (tabu search accepts the best admissible move even
     // when it worsens the incumbent — that is how it escapes local
     // optima).
-    const std::int32_t from = current.server_of(best_vm);
-    const VmRequest& vm = inst.requests.vms[best_vm];
-    for (std::size_t l = 0; l < inst.h(); ++l) {
-      used(static_cast<std::size_t>(from), l) -= vm.demand[l];
-      used(static_cast<std::size_t>(best_target), l) += vm.demand[l];
-    }
-    current.assign(best_vm, best_target);
-    current_obj = best_move_obj;
+    const std::int32_t from = state.placement().server_of(best_vm);
+    state.apply_move(best_vm, best_target);
     tabu.forbid(static_cast<std::uint32_t>(best_vm), from);
 
-    if (current_obj.aggregate() <
-        result.best_objectives.aggregate() - 1e-12) {
-      result.best = current;
-      result.best_objectives = current_obj;
+    if (state.aggregate() < result.best_objectives.aggregate() - 1e-12) {
+      result.best = state.placement();
+      result.best_objectives = state.objectives();
       ++result.improving_moves;
       stall = 0;
     } else {

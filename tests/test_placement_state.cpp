@@ -1,0 +1,303 @@
+// Delta-evaluation engine (PlacementState): every accumulator must agree
+// with a from-scratch Evaluator::evaluate after any sequence of moves,
+// rejections, and reverts — the invariant DESIGN.md §7 promises.
+#include "model/placement_state.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "model/objectives.h"
+#include "tests/test_util.h"
+
+namespace iaas {
+namespace {
+
+using test::make_instance;
+using test::make_random_instance;
+
+constexpr double kTol = 1e-9;
+
+// Asserts that the incremental state matches a full rebuild of the same
+// placement, objective term by term and violation count by count.
+void expect_matches_full(PlacementState& state, Evaluator& evaluator) {
+  const Evaluation full = evaluator.evaluate(state.placement());
+  const ObjectiveVector incremental = state.objectives();
+  EXPECT_NEAR(incremental.usage_cost, full.objectives.usage_cost, kTol);
+  EXPECT_NEAR(incremental.downtime_cost, full.objectives.downtime_cost, kTol);
+  EXPECT_NEAR(incremental.migration_cost, full.objectives.migration_cost,
+              kTol);
+  EXPECT_NEAR(state.aggregate(), full.objectives.aggregate(), kTol);
+  EXPECT_EQ(state.capacity_violations(), full.violations.capacity_violations);
+  EXPECT_EQ(state.relation_violations(), full.violations.relation_violations);
+  EXPECT_EQ(state.rejected_count(), full.violations.rejected_vms);
+  EXPECT_EQ(state.violation_report().overloaded_servers,
+            full.violations.overloaded_servers);
+}
+
+Instance constrained_instance(std::uint64_t seed) {
+  ScenarioConfig cfg = ScenarioConfig::paper_scale(16);
+  cfg.vms = 48;
+  cfg.constrained_fraction = 0.5;   // plenty of relationship groups
+  cfg.preplaced_fraction = 0.5;     // exercise the migration term
+  return ScenarioGenerator(cfg).generate(seed);
+}
+
+std::vector<std::int32_t> random_genes(const Instance& inst, Rng& rng) {
+  std::vector<std::int32_t> genes(inst.n());
+  for (auto& g : genes) {
+    // ~10% rejected so the rejection bookkeeping is exercised too.
+    g = rng.bernoulli(0.1)
+            ? Placement::kRejected
+            : static_cast<std::int32_t>(rng.uniform_index(inst.m()));
+  }
+  return genes;
+}
+
+TEST(PlacementState, FreshStateIsEmptyAndConsistent) {
+  const Instance inst = constrained_instance(1);
+  PlacementState state(inst);
+  Evaluator evaluator(inst);
+  EXPECT_EQ(state.rejected_count(), inst.n());
+  EXPECT_DOUBLE_EQ(state.aggregate(), 0.0);
+  expect_matches_full(state, evaluator);
+}
+
+TEST(PlacementState, RebuildMatchesEvaluator) {
+  const Instance inst = constrained_instance(2);
+  PlacementState state(inst);
+  Evaluator evaluator(inst);
+  Rng rng(7);
+  for (int round = 0; round < 10; ++round) {
+    state.rebuild(random_genes(inst, rng));
+    expect_matches_full(state, evaluator);
+  }
+}
+
+TEST(PlacementState, TryMoveLeavesStateUntouched) {
+  const Instance inst = constrained_instance(3);
+  PlacementState state(inst);
+  Rng rng(11);
+  state.rebuild(random_genes(inst, rng));
+  const ObjectiveVector before = state.objectives();
+  const Placement snapshot = state.placement();
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t k = rng.uniform_index(inst.n());
+    const auto target =
+        static_cast<std::int32_t>(rng.uniform_index(inst.m()));
+    (void)state.try_move(k, target);
+  }
+  EXPECT_EQ(state.placement(), snapshot);
+  EXPECT_DOUBLE_EQ(state.objectives().aggregate(), before.aggregate());
+}
+
+TEST(PlacementState, TryMovePredictsFullEvaluation) {
+  const Instance inst = constrained_instance(4);
+  PlacementState state(inst);
+  Evaluator evaluator(inst);
+  Rng rng(13);
+  state.rebuild(random_genes(inst, rng));
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t k = rng.uniform_index(inst.n());
+    const std::int32_t target =
+        rng.bernoulli(0.1)
+            ? Placement::kRejected
+            : static_cast<std::int32_t>(rng.uniform_index(inst.m()));
+    const ObjectiveDelta delta = state.try_move(k, target);
+
+    Placement hypothetical = state.placement();
+    hypothetical.assign(k, target);
+    const Evaluation full = evaluator.evaluate(hypothetical);
+    EXPECT_NEAR(delta.objectives.usage_cost, full.objectives.usage_cost,
+                kTol);
+    EXPECT_NEAR(delta.objectives.downtime_cost,
+                full.objectives.downtime_cost, kTol);
+    EXPECT_NEAR(delta.objectives.migration_cost,
+                full.objectives.migration_cost, kTol);
+    EXPECT_NEAR(delta.aggregate_delta,
+                full.objectives.aggregate() - state.aggregate(), kTol);
+    EXPECT_EQ(static_cast<std::int32_t>(state.total_violations()) +
+                  delta.violations_delta,
+              static_cast<std::int32_t>(full.violations.total()));
+  }
+}
+
+TEST(PlacementState, ApplyCommitsThePendingMove) {
+  const Instance inst = constrained_instance(5);
+  PlacementState state(inst);
+  Evaluator evaluator(inst);
+  Rng rng(17);
+  state.rebuild(random_genes(inst, rng));
+
+  const std::size_t k = 0;
+  const std::int32_t target =
+      (state.placement().server_of(k) + 1) %
+      static_cast<std::int32_t>(inst.m());
+  const ObjectiveDelta delta = state.try_move(k, target);
+  state.apply();
+  EXPECT_EQ(state.placement().server_of(k), target);
+  EXPECT_NEAR(state.aggregate(), delta.objectives.aggregate(), kTol);
+  expect_matches_full(state, evaluator);
+}
+
+TEST(PlacementState, RevertRestoresEverything) {
+  const Instance inst = constrained_instance(6);
+  PlacementState state(inst);
+  Evaluator evaluator(inst);
+  Rng rng(19);
+  state.rebuild(random_genes(inst, rng));
+  const Placement original = state.placement();
+  const double original_aggregate = state.aggregate();
+
+  Rng move_rng(23);
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t k = move_rng.uniform_index(inst.n());
+    const std::int32_t target =
+        move_rng.bernoulli(0.1)
+            ? Placement::kRejected
+            : static_cast<std::int32_t>(move_rng.uniform_index(inst.m()));
+    state.apply_move(k, target);
+  }
+  while (state.applied_moves() > 0) {
+    state.revert();
+  }
+  EXPECT_EQ(state.placement(), original);
+  EXPECT_NEAR(state.aggregate(), original_aggregate, kTol);
+  expect_matches_full(state, evaluator);
+}
+
+TEST(PlacementState, RelationViolationsTrackMoves) {
+  // Two VMs bound to the same server, placed apart then together.
+  PlacementConstraint c;
+  c.kind = RelationKind::kSameServer;
+  c.vms = {0, 1};
+  const Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0}, {{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}}, {c});
+  PlacementState state(inst);
+  state.rebuild(std::vector<std::int32_t>{0, 1});
+  EXPECT_EQ(state.relation_violations(), 1u);
+
+  const ObjectiveDelta fix = state.try_move(1, 0);
+  EXPECT_EQ(fix.violations_delta, -1);
+  state.apply();
+  EXPECT_EQ(state.relation_violations(), 0u);
+  state.revert();
+  EXPECT_EQ(state.relation_violations(), 1u);
+}
+
+TEST(PlacementState, CapacityViolationsTrackMoves) {
+  // One server of capacity 10 receiving 2 x 6 demand.
+  const Instance inst = make_instance(
+      1, 2, {10.0, 10.0, 10.0}, {{6.0, 6.0, 6.0}, {6.0, 6.0, 6.0}});
+  PlacementState state(inst);
+  state.rebuild(std::vector<std::int32_t>{0, 1});
+  EXPECT_EQ(state.capacity_violations(), 0u);
+  EXPECT_FALSE(state.server_overloaded(0));
+
+  const ObjectiveDelta crowd = state.try_move(1, 0);
+  EXPECT_EQ(crowd.violations_delta, 3);  // all three attributes exceed
+  state.apply();
+  EXPECT_TRUE(state.server_overloaded(0));
+  EXPECT_EQ(state.capacity_violations(), 3u);
+  state.revert();
+  EXPECT_EQ(state.capacity_violations(), 0u);
+}
+
+TEST(ConstraintChecker, IsValidMoveMatchesIsValidAllocation) {
+  const Instance inst = constrained_instance(8);
+  const ConstraintChecker checker(inst);
+  PlacementState state(inst);
+  Rng rng(29);
+  state.rebuild(random_genes(inst, rng));
+
+  Matrix<double> used;
+  checker.compute_used(state.placement(), used);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t k = rng.uniform_index(inst.n());
+    const std::size_t j = rng.uniform_index(inst.m());
+    EXPECT_EQ(checker.is_valid_move(state, k, j),
+              checker.is_valid_allocation(state.placement(), used, k, j));
+  }
+}
+
+TEST(PlacementState, ViolationsOnlyModeTracksViolationsExactly) {
+  // The repair operators run the state in kViolationsOnly mode; its
+  // violation counters, used matrix, and VM lists must stay identical to
+  // the full-tracking state through any move sequence.
+  const Instance inst = constrained_instance(9);
+  PlacementState full(inst);
+  PlacementState lean(inst, {}, StateTracking::kViolationsOnly);
+  Rng rng(31);
+  const std::vector<std::int32_t> genes = random_genes(inst, rng);
+  full.rebuild(genes);
+  lean.rebuild(genes);
+
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t k = rng.uniform_index(inst.n());
+    const std::int32_t target =
+        rng.bernoulli(0.1)
+            ? Placement::kRejected
+            : static_cast<std::int32_t>(rng.uniform_index(inst.m()));
+    const ObjectiveDelta lean_delta = lean.try_move(k, target);
+    const ObjectiveDelta full_delta = full.try_move(k, target);
+    EXPECT_EQ(lean_delta.violations_delta, full_delta.violations_delta);
+    full.apply();
+    lean.apply();
+    EXPECT_EQ(lean.capacity_violations(), full.capacity_violations());
+    EXPECT_EQ(lean.relation_violations(), full.relation_violations());
+    EXPECT_EQ(lean.rejected_count(), full.rejected_count());
+    EXPECT_EQ(lean.placement(), full.placement());
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "divergence at step " << step;
+    }
+  }
+  for (std::size_t j = 0; j < inst.m(); ++j) {
+    EXPECT_EQ(lean.server_overloaded(j), full.server_overloaded(j));
+  }
+}
+
+// The headline property: hundreds of interleaved applies and reverts,
+// cross-checked against a full rebuild at every step.
+class PlacementStateProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PlacementStateProperty, DeltaAgreesWithFullAtEveryStep) {
+  const Instance inst = constrained_instance(GetParam());
+  PlacementState state(inst);
+  Evaluator evaluator(inst);
+  Rng rng(GetParam() * 7919 + 1);
+  state.rebuild(random_genes(inst, rng));
+  expect_matches_full(state, evaluator);
+
+  for (int step = 0; step < 300; ++step) {
+    if (state.applied_moves() > 0 && rng.bernoulli(0.25)) {
+      state.revert();
+    } else {
+      const std::size_t k = rng.uniform_index(inst.n());
+      const std::int32_t target =
+          rng.bernoulli(0.1)
+              ? Placement::kRejected
+              : static_cast<std::int32_t>(rng.uniform_index(inst.m()));
+      const ObjectiveDelta delta = state.try_move(k, target);
+      const std::int32_t predicted =
+          static_cast<std::int32_t>(state.total_violations()) +
+          delta.violations_delta;
+      state.apply();
+      EXPECT_NEAR(state.aggregate(), delta.objectives.aggregate(), kTol);
+      EXPECT_EQ(static_cast<std::int32_t>(state.total_violations()),
+                predicted);
+    }
+    expect_matches_full(state, evaluator);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "divergence at step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementStateProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace iaas
