@@ -1,14 +1,23 @@
 // Ablation: parallel objective evaluation (the HPC lever this library
 // adds on top of the paper).  Population evaluation is embarrassingly
 // parallel; this bench reports the NSGA-III+Tabu wall-clock speed-up per
-// worker count, plus reference-point density cost.
+// worker count, plus reference-point density cost, and benchmarks the
+// fused variation→repair→evaluate generation pipeline (DESIGN.md §8) in
+// kRepair mode — emitting a machine-readable BENCH_parallel_pipeline.json
+// so the perf trajectory accumulates across commits.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "algo/nsga_allocators.h"
 #include "bench/bench_util.h"
 #include "common/csv.h"
 #include "common/stats.h"
+#include "common/stopwatch.h"
 #include "common/table.h"
+#include "ea/nsga3.h"
+#include "tabu/repair.h"
 #include "workload/generator.h"
 
 int main() {
@@ -81,6 +90,111 @@ int main() {
     }
     std::printf("\nReference-point density (same scenario):\n");
     table.print();
+  }
+
+  {
+    // Fused variation→repair→evaluate pipeline: NSGA-III in kRepair mode
+    // on the fig08 large instance, with the generation loop timed
+    // directly (no allocator post-processing) so what is measured is the
+    // repair-bound throughput the two-phase loop parallelises.
+    const bool fast = std::getenv("IAAS_BENCH_FAST") != nullptr;
+    const std::uint32_t servers = fast ? 100 : 400;
+    ScenarioConfig big = ScenarioConfig::paper_scale(servers);
+    const ScenarioGenerator big_generator(big);
+
+    NsgaConfig nsga;  // Table III population / operator rates
+    nsga.constraint_mode = ConstraintMode::kRepair;
+    nsga.max_evaluations = fast ? 600 : 2000;
+
+    struct PipelineCell {
+      std::size_t threads = 0;
+      double seconds = 0.0;
+      double speedup = 0.0;
+      bool identical = true;
+    };
+    std::vector<PipelineCell> cells;
+    std::vector<std::vector<std::int32_t>> reference_front;  // threads == 1
+
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+      RunningStats time_s;
+      std::vector<std::vector<std::int32_t>> front_genes;
+      for (std::size_t run = 0; run < runs; ++run) {
+        const Instance inst = big_generator.generate(7000 + run);
+        const AllocationProblem problem(inst);
+        const TabuRepair repair(inst);
+        const RepairFn repair_fn = [&repair](std::vector<std::int32_t>& g,
+                                             Rng& rng) {
+          repair.repair(g, rng);
+        };
+        const StateRepairFn state_fn = [&repair](PlacementState& state,
+                                                 Rng& rng) {
+          repair.repair_state(state, rng);
+        };
+        NsgaConfig cfg = nsga;
+        cfg.threads = threads;
+        Nsga3 engine(problem, cfg, repair_fn, state_fn);
+        Stopwatch timer;
+        const auto result = engine.run(run + 1);
+        time_s.add(timer.elapsed_seconds());
+        for (const Individual& ind : result.front) {
+          front_genes.push_back(ind.genes);
+        }
+      }
+      PipelineCell cell;
+      cell.threads = threads;
+      cell.seconds = time_s.mean();
+      if (threads == 1) {
+        reference_front = front_genes;
+      }
+      cell.identical = front_genes == reference_front;
+      cell.speedup = cells.empty()
+                         ? 1.0
+                         : cells.front().seconds / std::max(cell.seconds,
+                                                            1e-9);
+      cells.push_back(cell);
+    }
+
+    TextTable table(
+        {"threads", "mean time (s)", "speed-up vs 1", "bit-identical"});
+    for (const PipelineCell& cell : cells) {
+      table.add_row({std::to_string(cell.threads),
+                     TextTable::num(cell.seconds, 3),
+                     TextTable::num(cell.speedup, 2),
+                     cell.identical ? "yes" : "NO"});
+    }
+    std::printf(
+        "\nFused repair pipeline (NSGA-III kRepair, %u servers / %u VMs, "
+        "%zu evals, %zu runs each):\n",
+        servers, servers * 2, nsga.max_evaluations, runs);
+    table.print();
+
+    const std::string json_path = csv_dir() + "/BENCH_parallel_pipeline.json";
+    if (std::FILE* json = std::fopen(json_path.c_str(), "w")) {
+      std::fprintf(json,
+                   "{\n"
+                   "  \"bench\": \"parallel_pipeline\",\n"
+                   "  \"mode\": \"kRepair\",\n"
+                   "  \"servers\": %u,\n"
+                   "  \"vms\": %u,\n"
+                   "  \"population\": %zu,\n"
+                   "  \"max_evaluations\": %zu,\n"
+                   "  \"runs\": %zu,\n"
+                   "  \"results\": [\n",
+                   servers, servers * 2, nsga.population_size,
+                   nsga.max_evaluations, runs);
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        const PipelineCell& cell = cells[i];
+        std::fprintf(json,
+                     "    {\"threads\": %zu, \"seconds\": %.6f, "
+                     "\"speedup\": %.4f, \"identical_to_serial\": %s}%s\n",
+                     cell.threads, cell.seconds, cell.speedup,
+                     cell.identical ? "true" : "false",
+                     i + 1 < cells.size() ? "," : "");
+      }
+      std::fprintf(json, "  ]\n}\n");
+      std::fclose(json);
+      std::printf("\nWrote %s\n", json_path.c_str());
+    }
   }
   return 0;
 }

@@ -112,7 +112,13 @@ AllocationResult Nsga3TabuAllocator::allocate(const Instance& instance,
                                        Rng& rng) {
     repair.repair(genes, rng);
   };
-  Nsga3 engine(problem, with_repair(options_.nsga), repair_fn);
+  // Offspring go through the fused repair-as-evaluation path: the repair
+  // walk's PlacementState is read out directly as the evaluation, saving
+  // the post-repair rebuild on every offspring.
+  const StateRepairFn state_fn = [&repair](PlacementState& state, Rng& rng) {
+    repair.repair_state(state, rng);
+  };
+  Nsga3 engine(problem, with_repair(options_.nsga), repair_fn, state_fn);
   return run_engine(instance, seed, name(), options_, engine, repair_fn);
 }
 

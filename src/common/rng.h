@@ -83,7 +83,23 @@ class Rng {
   bool bernoulli(double p) { return next_double() < p; }
 
   // Derive an independent child stream (e.g. one per parallel worker).
+  // Consumes one draw from this stream.
   Rng split() { return Rng(next_u64() ^ 0xa3ec647659359acdULL); }
+
+  // Counter-derived child stream i, WITHOUT consuming the parent state:
+  // the same (state, i) pair always yields the same child, so a serial
+  // driver can assign stream i to parallel task i and the run is
+  // bit-identical for any thread count.  Distinct counters against the
+  // same parent state give statistically independent streams (SplitMix64
+  // mixing of the counter, folded into two parent state words, then the
+  // seeding expansion).
+  [[nodiscard]] Rng child_stream(std::uint64_t i) const {
+    std::uint64_t z = i + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return Rng(state_[0] ^ rotl(state_[2], 29) ^ z);
+  }
 
   template <typename Container>
   void shuffle(Container& c) {

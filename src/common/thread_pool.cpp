@@ -52,11 +52,15 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t chunk_size = (total + chunks - 1) / chunks;
 
   std::atomic<std::size_t> next{begin};
+  std::atomic<bool> aborted{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto drain = [&] {
     for (;;) {
+      if (aborted.load(std::memory_order_relaxed)) {
+        return;
+      }
       const std::size_t lo = next.fetch_add(chunk_size);
       if (lo >= end) {
         return;
@@ -67,10 +71,16 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
           fn(i);
         }
       } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) {
-          first_error = std::current_exception();
+        {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
         }
+        // Abandon chunks not yet claimed — a failed parallel_for should
+        // stop scheduling work, not run the remaining iterations to
+        // completion behind the caller's back.
+        aborted.store(true, std::memory_order_relaxed);
         return;
       }
     }

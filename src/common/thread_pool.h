@@ -31,7 +31,8 @@ class ThreadPool {
 
   // Run fn(i) for i in [begin, end) across the pool, blocking until all
   // iterations finish.  Iterations are chunked to limit queue traffic.
-  // Exceptions from fn propagate (first one wins).
+  // Exceptions from fn propagate to the caller (first one wins) and
+  // chunks not yet claimed when it was thrown are abandoned.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 

@@ -8,8 +8,8 @@
 namespace iaas {
 
 Nsga3::Nsga3(const AllocationProblem& problem, NsgaConfig config,
-             RepairFn repair)
-    : NsgaBase(problem, config, std::move(repair)),
+             RepairFn repair, StateRepairFn state_repair)
+    : NsgaBase(problem, config, std::move(repair), std::move(state_repair)),
       reference_points_(das_dennis_points(config.reference_divisions)) {}
 
 void Nsga3::environmental_selection(Population& merged, Population& next,

@@ -4,6 +4,8 @@
 #include <array>
 #include <optional>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "common/expect.h"
 #include "ea/archive.h"
@@ -11,8 +13,11 @@
 namespace iaas {
 
 NsgaBase::NsgaBase(const AllocationProblem& problem, NsgaConfig config,
-                   RepairFn repair)
-    : problem_(&problem), config_(config), repair_(std::move(repair)) {
+                   RepairFn repair, StateRepairFn state_repair)
+    : problem_(&problem),
+      config_(config),
+      repair_(std::move(repair)),
+      state_repair_(std::move(state_repair)) {
   IAAS_EXPECT(config_.population_size >= 4,
               "population too small for tournament + crossover");
   if (config_.constraint_mode == ConstraintMode::kRepair) {
@@ -92,13 +97,90 @@ const Individual& NsgaBase::tournament(const Population& population,
   return rng.bernoulli(0.5) ? a : b;
 }
 
-void NsgaBase::maybe_repair(std::vector<std::int32_t>& genes, Rng& rng,
-                            std::size_t& counter) {
-  if (config_.constraint_mode != ConstraintMode::kRepair) {
-    return;
-  }
+void NsgaBase::repair_genes(std::vector<std::int32_t>& genes, Rng& rng,
+                            TaskStats& stats) {
   repair_(genes, rng);
-  ++counter;
+  ++stats.repairs;
+}
+
+void NsgaBase::repair_evaluate(Individual& ind, Rng& rng, TaskStats& stats) {
+  const bool do_repair =
+      config_.constraint_mode == ConstraintMode::kRepair &&
+      config_.repair_offspring;
+  if (do_repair && state_repair_) {
+    // Fused path: one rebuild positions the state at the unrepaired
+    // placement; the repair walk keeps every accumulator current, so the
+    // state read-out after it IS the evaluation of the repaired genes.
+    AllocationProblem::EvaluatorLease lease(*problem_);
+    PlacementState& state = lease->state();
+    state.rebuild(ind.genes);
+    state_repair_(state, rng);
+    ++stats.repairs;
+    if (state.applied_moves() > 0) {
+      ind.genes = state.placement().genes();
+    }
+    ind.objectives = state.objectives().as_array();
+    ind.violations = state.total_violations();
+    ind.evaluated = true;
+  } else {
+    if (do_repair) {
+      repair_genes(ind.genes, rng, stats);
+    }
+    problem_->evaluate(ind);
+  }
+  ++stats.evaluations;
+}
+
+void NsgaBase::variation_task(const Population& parents, MatingTask& task,
+                              Individual* child_a, Individual* child_b) {
+  const SbxParams sbx{config_.sbx_rate, config_.sbx_distribution_index, 0.5};
+  const PmParams pm{config_.pm_rate, config_.pm_distribution_index};
+  const std::int32_t max_gene = problem_->max_gene();
+  Rng& rng = task.rng;
+
+  const Individual& parent_a = parents[task.parent_a];
+  const Individual& parent_b = parents[task.parent_b];
+  std::vector<std::int32_t> genes_a = parent_a.genes;
+  std::vector<std::int32_t> genes_b = parent_b.genes;
+  // Paper Fig. 4: parents that "do not respect users constraints" pass
+  // through the repair before they are allowed to reproduce.
+  if (config_.constraint_mode == ConstraintMode::kRepair &&
+      config_.repair_parents) {
+    if (parent_a.violations > 0) {
+      repair_genes(genes_a, rng, task.stats);
+    }
+    if (parent_b.violations > 0) {
+      repair_genes(genes_b, rng, task.stats);
+    }
+  }
+
+  // A dropped second child (odd population size) skips variation and
+  // repair entirely; the task stream is private, so skipping consumes no
+  // draws any other task depends on.
+  std::vector<std::int32_t> discard;
+  std::vector<std::int32_t>& second_genes =
+      child_b != nullptr ? child_b->genes : discard;
+  sbx_crossover(genes_a, genes_b, child_a->genes, second_genes, max_gene,
+                sbx, rng);
+  polynomial_mutation(child_a->genes, max_gene, pm, rng);
+  if (child_b != nullptr) {
+    polynomial_mutation(child_b->genes, max_gene, pm, rng);
+  }
+  repair_evaluate(*child_a, rng, task.stats);
+  if (child_b != nullptr) {
+    repair_evaluate(*child_b, rng, task.stats);
+  }
+}
+
+void NsgaBase::run_tasks(ThreadPool* pool, std::size_t count,
+                         const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || count < 2) {
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+  } else {
+    pool->parallel_for(0, count, fn);
+  }
 }
 
 NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
@@ -106,32 +188,37 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
   ThreadPool* pool = evaluation_pool();
   Result result;
 
-  const SbxParams sbx{config_.sbx_rate, config_.sbx_distribution_index, 0.5};
-  const PmParams pm{config_.pm_rate, config_.pm_distribution_index};
   const std::int32_t max_gene = problem_->max_gene();
 
-  // Initial population; in repair mode initial individuals are repaired
-  // too so the search starts from the feasible region.
+  // Initial population.  Serial phase: every main-stream draw (gene
+  // randomisation, warm start) happens here in a fixed order.
   Population population(config_.population_size);
   for (Individual& ind : population) {
     ind.genes.resize(problem_->gene_count());
     randomize_genes(ind.genes, max_gene, rng);
-    if (config_.repair_offspring) {
-      maybe_repair(ind.genes, rng, result.repair_invocations);
-    }
   }
   if (config_.warm_start) {
     // Seed the incumbent so the migration objective can prefer "stay".
     std::vector<std::int32_t> warm = problem_->warm_start_genes(rng);
     if (!warm.empty()) {
       population.front().genes = std::move(warm);
-      if (config_.repair_offspring) {
-        maybe_repair(population.front().genes, rng,
-                     result.repair_invocations);
-      }
     }
   }
-  result.evaluations += problem_->evaluate_population(population, pool);
+  // Parallel phase: in repair mode initial individuals are repaired too,
+  // so the search starts from the feasible region; evaluation rides in
+  // the same task.
+  {
+    std::vector<TaskStats> stats(population.size());
+    const Rng init_base = rng;
+    run_tasks(pool, population.size(), [&](std::size_t i) {
+      Rng task_rng = init_base.child_stream(i);
+      repair_evaluate(population[i], task_rng, stats[i]);
+    });
+    for (const TaskStats& s : stats) {
+      result.repair_invocations += s.repairs;
+      result.evaluations += s.evaluations;
+    }
+  }
 
   std::optional<ParetoArchive> archive;
   if (config_.archive_capacity > 0) {
@@ -142,46 +229,46 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
   }
 
   // Rank the initial population so the first tournament has information.
+  // environmental_selection moves the survivors out of its input, and the
+  // input is discarded right after — no copy needed.
   {
-    Population scratch = population;
     Population ranked;
-    environmental_selection(scratch, ranked, rng);
+    environmental_selection(population, ranked, rng);
     population = std::move(ranked);
   }
 
   while (result.evaluations < config_.max_evaluations) {
-    Population offspring;
-    offspring.reserve(config_.population_size);
-    while (offspring.size() < config_.population_size) {
-      const Individual& parent_a = tournament(population, rng);
-      const Individual& parent_b = tournament(population, rng);
-      std::vector<std::int32_t> pa = parent_a.genes;
-      std::vector<std::int32_t> pb = parent_b.genes;
-      // Paper Fig. 4: parents that "do not respect users constraints"
-      // pass through the repair before they are allowed to reproduce.
-      if (config_.repair_parents) {
-        if (parent_a.violations > 0) {
-          maybe_repair(pa, rng, result.repair_invocations);
-        }
-        if (parent_b.violations > 0) {
-          maybe_repair(pb, rng, result.repair_invocations);
-        }
-      }
-      Individual child_a;
-      Individual child_b;
-      sbx_crossover(pa, pb, child_a.genes, child_b.genes, max_gene, sbx, rng);
-      polynomial_mutation(child_a.genes, max_gene, pm, rng);
-      polynomial_mutation(child_b.genes, max_gene, pm, rng);
-      if (config_.repair_offspring) {
-        maybe_repair(child_a.genes, rng, result.repair_invocations);
-        maybe_repair(child_b.genes, rng, result.repair_invocations);
-      }
-      offspring.push_back(std::move(child_a));
-      if (offspring.size() < config_.population_size) {
-        offspring.push_back(std::move(child_b));
-      }
+    const std::size_t pair_count = (config_.population_size + 1) / 2;
+
+    // Phase 1 (serial): tournament draws consume the main stream in a
+    // fixed order regardless of thread count; each pair gets its own
+    // counter-derived child stream for everything downstream.
+    std::vector<MatingTask> tasks;
+    tasks.reserve(pair_count);
+    for (std::size_t p = 0; p < pair_count; ++p) {
+      const std::size_t index_a = static_cast<std::size_t>(
+          &tournament(population, rng) - population.data());
+      const std::size_t index_b = static_cast<std::size_t>(
+          &tournament(population, rng) - population.data());
+      tasks.push_back(
+          MatingTask{index_a, index_b, rng.child_stream(p), TaskStats{}});
     }
-    result.evaluations += problem_->evaluate_population(offspring, pool);
+
+    // Phase 2 (parallel): each pair's crossover, mutation, repair, and
+    // evaluation run as one fused task writing only offspring slots
+    // 2p / 2p+1 — deterministic for any thread count.
+    Population offspring(config_.population_size);
+    run_tasks(pool, pair_count, [&](std::size_t p) {
+      Individual* child_b = 2 * p + 1 < offspring.size()
+                                ? &offspring[2 * p + 1]
+                                : nullptr;
+      variation_task(population, tasks[p], &offspring[2 * p], child_b);
+    });
+    for (const MatingTask& task : tasks) {
+      result.repair_invocations += task.stats.repairs;
+      result.evaluations += task.stats.evaluations;
+    }
+
     if (archive) {
       for (const Individual& ind : offspring) {
         archive->insert(ind);
@@ -201,13 +288,15 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
     ++result.generations;
   }
 
-  // Final front: rank-0 members under the engine's dominance.
+  // Final front: rank-0 members under the engine's dominance.  The sort
+  // only stamps ranks, so it can run on the population in place; only the
+  // front members themselves are copied out.
   const DominanceFn dom = dominance();
-  Population final_copy = population;
-  const auto fronts = nondominated_sort(final_copy, dom);
+  const auto fronts = nondominated_sort(population, dom);
   IAAS_EXPECT(!fronts.empty(), "population cannot be empty");
+  result.front.reserve(fronts[0].size());
   for (std::size_t idx : fronts[0]) {
-    result.front.push_back(final_copy[idx]);
+    result.front.push_back(population[idx]);
   }
   result.population = std::move(population);
   if (archive) {

@@ -2,9 +2,19 @@
 //
 // Implements the paper's modified-NSGA pipeline (Figs. 3-4): binary
 // tournament mating selection, optional repair of invalid parents before
-// variation, SBX + PM variation, optional repair of offspring, parallel
-// objective evaluation, and (mu + lambda) environmental selection supplied
-// by the concrete algorithm.
+// variation, SBX + PM variation, optional repair of offspring, and
+// (mu + lambda) environmental selection supplied by the concrete
+// algorithm.
+//
+// Each generation runs in two phases (DESIGN.md §8).  A cheap serial
+// phase draws the parent index pairs by tournament — every draw from the
+// run's main RNG stream happens here, in a fixed order — and assigns each
+// pair a counter-derived child stream.  The parallel phase then fans each
+// pair out over the thread pool: crossover, mutation, parent/offspring
+// repair, and objective evaluation fused into one task.  Because a task
+// touches only its own offspring slots, its own RNG stream, and pooled
+// per-worker scratch, results are bit-identical for a given seed
+// regardless of config.threads.
 //
 // The ConstraintMode selects how strict constraints are honoured — the
 // four methods the paper enumerates (ignore/exclude/penalty/repair).
@@ -21,12 +31,20 @@
 #include "ea/nsga_config.h"
 #include "ea/operators.h"
 #include "ea/problem.h"
+#include "model/placement_state.h"
 
 namespace iaas {
 
 // Makes an individual's genes constraint-compliant (or closer to it);
 // e.g. the tabu-search repair of paper Figs. 5-6.
 using RepairFn = std::function<void(std::vector<std::int32_t>&, Rng&)>;
+
+// Fused repair-as-evaluation hook: repairs the placement held in `state`
+// (already rebuilt to the individual's genes, full tracking) in place.
+// After it returns, the state's accumulators are read out directly as
+// the individual's evaluation — no second rebuild.  Must be safe to call
+// concurrently (one distinct state per call).
+using StateRepairFn = std::function<void(PlacementState&, Rng&)>;
 
 class NsgaBase {
  public:
@@ -41,8 +59,12 @@ class NsgaBase {
     std::size_t generations = 0;
   };
 
+  // `state_repair`, when given alongside `repair`, switches offspring
+  // repair to the fused repair-as-evaluation path; `repair` remains in
+  // use for parents (whose repaired genes feed variation, not
+  // evaluation).  Both must implement the same walk.
   NsgaBase(const AllocationProblem& problem, NsgaConfig config,
-           RepairFn repair = nullptr);
+           RepairFn repair = nullptr, StateRepairFn state_repair = nullptr);
   virtual ~NsgaBase() = default;
 
   NsgaBase(const NsgaBase&) = delete;
@@ -72,13 +94,47 @@ class NsgaBase {
   const AllocationProblem& problem() const { return *problem_; }
 
  private:
-  void maybe_repair(std::vector<std::int32_t>& genes, Rng& rng,
-                    std::size_t& counter);
+  // Per-task tallies, accumulated into Result on the serial side so the
+  // totals are deterministic (no atomics, no ordering dependence).
+  struct TaskStats {
+    std::size_t repairs = 0;
+    std::size_t evaluations = 0;
+  };
+
+  // Serial-phase product: everything one variation task needs, fixed
+  // before the parallel fan-out.
+  struct MatingTask {
+    std::size_t parent_a;
+    std::size_t parent_b;
+    Rng rng;  // counter-derived child stream, owned by this task
+    TaskStats stats;
+  };
+
+  // One fused task: copy + (conditionally) repair parents, SBX + PM,
+  // repair + evaluate the offspring.  `child_b` is null when the pair's
+  // second slot falls outside the offspring population (odd size).
+  void variation_task(const Population& parents, MatingTask& task,
+                      Individual* child_a, Individual* child_b);
+
+  // Offspring/initial-individual treatment: repair (when the mode asks
+  // for it) fused with evaluation.  With a StateRepairFn the repair
+  // walk's PlacementState is read out directly as the evaluation;
+  // otherwise genes-based repair followed by a normal evaluation.
+  void repair_evaluate(Individual& ind, Rng& rng, TaskStats& stats);
+
+  void repair_genes(std::vector<std::int32_t>& genes, Rng& rng,
+                    TaskStats& stats);
+
+  // Runs fn(0..count) serially or over the pool.
+  void run_tasks(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t)>& fn);
+
   ThreadPool* evaluation_pool();
 
   const AllocationProblem* problem_;
   NsgaConfig config_;
   RepairFn repair_;
+  StateRepairFn state_repair_;
   std::unique_ptr<ThreadPool> owned_pool_;
 };
 

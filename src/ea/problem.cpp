@@ -46,16 +46,15 @@ std::vector<std::int32_t> AllocationProblem::warm_start_genes(
 void AllocationProblem::evaluate(Individual& individual) const {
   IAAS_EXPECT(individual.genes.size() == gene_count(),
               "individual gene count mismatch");
-  auto evaluator = acquire_evaluator();
+  EvaluatorLease lease(*this);
   // Pooled evaluators keep their PlacementState accumulators across
   // individuals (repair-mode populations cycle through here constantly),
   // and evaluate_genes rebuilds in place — no per-call allocation or
   // Placement copy.
-  const Evaluation eval = evaluator->evaluate_genes(individual.genes);
+  const Evaluation eval = lease->evaluate_genes(individual.genes);
   individual.objectives = eval.objectives.as_array();
   individual.violations = eval.violations.total();
   individual.evaluated = true;
-  release_evaluator(std::move(evaluator));
 }
 
 std::size_t AllocationProblem::evaluate_population(

@@ -41,8 +41,33 @@ class AllocationProblem {
   std::size_t evaluate_population(std::span<Individual> population,
                                   ThreadPool* pool) const;
 
+  // RAII borrow of a pooled Evaluator (and the PlacementState scratch it
+  // owns).  The fused repair-as-evaluation pipeline rebuilds the state to
+  // an individual's genes, runs the repair walk directly on it, and reads
+  // the evaluation straight out of the state's accumulators — one rebuild
+  // total, no post-repair re-scan.  Thread-safe: each lease holds a
+  // distinct Evaluator.
+  class EvaluatorLease {
+   public:
+    explicit EvaluatorLease(const AllocationProblem& problem)
+        : problem_(&problem), evaluator_(problem.acquire_evaluator()) {}
+    ~EvaluatorLease() {
+      if (evaluator_ != nullptr) {
+        problem_->release_evaluator(std::move(evaluator_));
+      }
+    }
+    EvaluatorLease(const EvaluatorLease&) = delete;
+    EvaluatorLease& operator=(const EvaluatorLease&) = delete;
+
+    [[nodiscard]] Evaluator& operator*() const { return *evaluator_; }
+    [[nodiscard]] Evaluator* operator->() const { return evaluator_.get(); }
+
+   private:
+    const AllocationProblem* problem_;
+    std::unique_ptr<Evaluator> evaluator_;
+  };
+
  private:
-  class EvaluatorLease;
   std::unique_ptr<Evaluator> acquire_evaluator() const;
   void release_evaluator(std::unique_ptr<Evaluator> evaluator) const;
 

@@ -16,6 +16,13 @@
 // O(n·m·h) full rebuild.  This is the standard scaling lever of the VM
 // placement literature (move-based neighbourhoods with incremental
 // objective bookkeeping) applied to the paper's tabu + NSGA-III stack.
+//
+// The invariant also powers the fused repair-as-evaluation pipeline
+// (DESIGN.md §8): TabuRepair::repair_state walks a full-tracking state
+// rebuilt to an offspring's genes, and the NSGA engine reads the
+// objectives and violation counts straight out of the accumulators
+// afterwards — the repair's own bookkeeping IS the evaluation, no
+// post-repair rebuild.
 #pragma once
 
 #include <cstdint>

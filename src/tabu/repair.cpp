@@ -286,6 +286,17 @@ std::uint32_t TabuRepair::repair(std::vector<std::int32_t>& genes,
   // tracks violations only (no QoS/downtime refresh per move).
   PlacementState state(inst, {}, StateTracking::kViolationsOnly);
   state.rebuild(genes);
+  const std::uint32_t remaining = repair_state(state, rng);
+  if (state.applied_moves() > 0) {
+    genes = state.placement().genes();
+  }
+  return remaining;
+}
+
+std::uint32_t TabuRepair::repair_state(PlacementState& state,
+                                       Rng& rng) const {
+  IAAS_EXPECT(&state.instance() == instance_,
+              "state built against a different instance");
   // Fast path: feasible individuals pass through untouched (the paper
   // only treats parents that "do not respect users constraints").
   if (state.total_violations() == 0) {
@@ -314,7 +325,6 @@ std::uint32_t TabuRepair::repair(std::vector<std::int32_t>& genes,
     }
     remaining = state.total_violations();
   }
-  genes = state.placement().genes();
   return remaining;
 }
 

@@ -45,6 +45,16 @@ class TabuRepair {
   // are immutable after construction.
   std::uint32_t repair(std::vector<std::int32_t>& genes, Rng& rng) const;
 
+  // Same walk on a caller-owned PlacementState already rebuilt to the
+  // placement under repair (any tracking mode; the walk reads only the
+  // demand accumulators and violation counters, which both modes keep
+  // current).  The state is left positioned at the repaired placement —
+  // with full tracking its accumulators then double as the evaluation of
+  // the repaired individual (fused repair-as-evaluation, DESIGN.md §8).
+  // The move decisions and RNG consumption are identical to repair(), so
+  // both entry points produce the same placement for the same stream.
+  std::uint32_t repair_state(PlacementState& state, Rng& rng) const;
+
   [[nodiscard]] const TabuRepairOptions& options() const { return options_; }
 
  private:

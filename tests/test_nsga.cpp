@@ -188,6 +188,87 @@ TEST(NsgaBase, ParallelEvaluationMatchesSerial) {
   }
 }
 
+// The tentpole guarantee of the two-phase generation loop: for a fixed
+// seed, thread count must not change anything observable — final fronts,
+// full populations, and the repair/evaluation tallies — in any of the
+// paper's four constraint modes.
+TEST(NsgaBase, ThreadCountInvariantInAllConstraintModes) {
+  const Instance inst = test::make_random_instance(21, 8, 32);
+  const AllocationProblem problem(inst);
+  TabuRepair repair(inst);
+  const RepairFn repair_fn = [&repair](std::vector<std::int32_t>& genes,
+                                       Rng& rng) {
+    repair.repair(genes, rng);
+  };
+  const StateRepairFn state_fn = [&repair](PlacementState& state, Rng& rng) {
+    repair.repair_state(state, rng);
+  };
+
+  for (const ConstraintMode mode :
+       {ConstraintMode::kIgnore, ConstraintMode::kExclude,
+        ConstraintMode::kPenalty, ConstraintMode::kRepair}) {
+    NsgaConfig serial = quick_config();
+    serial.constraint_mode = mode;
+    serial.threads = 1;
+    NsgaConfig parallel = serial;
+    parallel.threads = 8;
+
+    Nsga3 a(problem, serial, repair_fn, state_fn);
+    Nsga3 b(problem, parallel, repair_fn, state_fn);
+    const auto ra = a.run(91);
+    const auto rb = b.run(91);
+
+    EXPECT_EQ(ra.evaluations, rb.evaluations);
+    EXPECT_EQ(ra.repair_invocations, rb.repair_invocations);
+    EXPECT_EQ(ra.generations, rb.generations);
+    ASSERT_EQ(ra.front.size(), rb.front.size());
+    for (std::size_t i = 0; i < ra.front.size(); ++i) {
+      EXPECT_EQ(ra.front[i].genes, rb.front[i].genes);
+      EXPECT_EQ(ra.front[i].objectives, rb.front[i].objectives);
+      EXPECT_EQ(ra.front[i].violations, rb.front[i].violations);
+    }
+    ASSERT_EQ(ra.population.size(), rb.population.size());
+    for (std::size_t i = 0; i < ra.population.size(); ++i) {
+      EXPECT_EQ(ra.population[i].genes, rb.population[i].genes);
+      EXPECT_EQ(ra.population[i].objectives, rb.population[i].objectives);
+    }
+  }
+}
+
+TEST(Nsga3, FusedRepairPathYieldsFeasibleFront) {
+  // Same expectations as RepairModeYieldsFeasibleFront, but through the
+  // fused repair-as-evaluation pipeline (StateRepairFn supplied).
+  Instance inst = test::make_random_instance(22, 8, 24);
+  const AllocationProblem problem(inst);
+  TabuRepair repair(inst);
+  NsgaConfig cfg = quick_config();
+  cfg.constraint_mode = ConstraintMode::kRepair;
+  Nsga3 engine(
+      problem, cfg,
+      [&repair](std::vector<std::int32_t>& genes, Rng& rng) {
+        repair.repair(genes, rng);
+      },
+      [&repair](PlacementState& state, Rng& rng) {
+        repair.repair_state(state, rng);
+      });
+  const auto result = engine.run(13);
+  EXPECT_GT(result.repair_invocations, 0u);
+  for (const Individual& i : result.front) {
+    EXPECT_EQ(i.violations, 0u);
+  }
+  // Fused evaluations must agree with the rebuild facade on the final
+  // front members (the repaired genes re-evaluated from scratch).
+  for (const Individual& i : result.front) {
+    Individual fresh;
+    fresh.genes = i.genes;
+    problem.evaluate(fresh);
+    EXPECT_EQ(fresh.violations, i.violations);
+    for (std::size_t o = 0; o < ObjectiveVector::kCount; ++o) {
+      EXPECT_NEAR(fresh.objectives[o], i.objectives[o], 1e-7);
+    }
+  }
+}
+
 TEST(Nsga3, NicheTournamentRunsAndStaysDeterministic) {
   const Instance inst = test::make_random_instance(14, 8, 24);
   const AllocationProblem problem(inst);

@@ -118,6 +118,56 @@ TEST(Rng, SplitProducesIndependentStream) {
   EXPECT_LT(equal, 4);
 }
 
+TEST(Rng, ChildStreamDoesNotConsumeParent) {
+  Rng untouched(47);
+  Rng parent(47);
+  (void)parent.child_stream(0);
+  (void)parent.child_stream(123456789);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(parent.next_u64(), untouched.next_u64());
+  }
+}
+
+TEST(Rng, ChildStreamDeterministicPerCounter) {
+  const Rng parent(53);
+  Rng a = parent.child_stream(7);
+  Rng b = parent.child_stream(7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, ChildStreamsDistinctAcrossCounters) {
+  const Rng parent(59);
+  Rng a = parent.child_stream(0);
+  Rng b = parent.child_stream(1);
+  Rng c = parent.child_stream(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t xa = a.next_u64();
+    const std::uint64_t xb = b.next_u64();
+    const std::uint64_t xc = c.next_u64();
+    equal += xa == xb ? 1 : 0;
+    equal += xa == xc ? 1 : 0;
+    equal += xb == xc ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ChildStreamsDifferWithParentState) {
+  // Advancing the parent changes what every counter derives — streams do
+  // not repeat across generations.
+  Rng parent(61);
+  Rng before = parent.child_stream(3);
+  parent.next_u64();
+  Rng after = parent.child_stream(3);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += before.next_u64() == after.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4);
+}
+
 TEST(Rng, UniformRealWithinBounds) {
   Rng rng(41);
   for (int i = 0; i < 1000; ++i) {

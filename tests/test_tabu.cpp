@@ -207,6 +207,61 @@ TEST_P(TabuRepairProperty, NeverIncreasesViolations) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TabuRepairProperty,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
 
+TEST(TabuRepair, RepairStateMatchesGenesEntryPoint) {
+  // Both entry points must walk identically for the same RNG stream: the
+  // fused pipeline relies on repair_state(kFull) reproducing exactly the
+  // placement that repair() produces through its private kViolationsOnly
+  // state.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Instance inst = make_random_instance(seed + 100, 8, 32);
+    TabuRepair repair(inst);
+
+    std::vector<std::int32_t> genes(inst.n());
+    Rng gene_rng(seed);
+    for (std::int32_t& g : genes) {
+      g = static_cast<std::int32_t>(
+          gene_rng.uniform_int(0, static_cast<std::int64_t>(inst.m()) - 1));
+    }
+
+    std::vector<std::int32_t> via_genes = genes;
+    Rng rng_a(seed + 1);
+    const std::uint32_t remaining_a = repair.repair(via_genes, rng_a);
+
+    PlacementState state(inst, {}, StateTracking::kFull);
+    state.rebuild(genes);
+    Rng rng_b(seed + 1);
+    const std::uint32_t remaining_b = repair.repair_state(state, rng_b);
+
+    EXPECT_EQ(remaining_a, remaining_b);
+    EXPECT_EQ(via_genes, state.placement().genes());
+    EXPECT_EQ(state.total_violations(), remaining_b);
+  }
+}
+
+TEST(TabuRepair, RepairStateAccumulatorsMatchFreshEvaluation) {
+  // Fused repair-as-evaluation invariant: after the walk, the state's
+  // objective accumulators agree with a from-scratch evaluation of the
+  // repaired placement.
+  const Instance inst = make_random_instance(222, 8, 40);
+  TabuRepair repair(inst);
+  PlacementState state(inst, {}, StateTracking::kFull);
+  std::vector<std::int32_t> genes(inst.n(), 0);  // everything on server 0
+  state.rebuild(genes);
+  Rng rng(5);
+  repair.repair_state(state, rng);
+
+  Evaluator fresh(inst);
+  const Evaluation full = fresh.evaluate(state.placement());
+  constexpr double kTol = 1e-7;
+  EXPECT_NEAR(state.objectives().usage_cost, full.objectives.usage_cost,
+              kTol);
+  EXPECT_NEAR(state.objectives().downtime_cost,
+              full.objectives.downtime_cost, kTol);
+  EXPECT_NEAR(state.objectives().migration_cost,
+              full.objectives.migration_cost, kTol);
+  EXPECT_EQ(state.total_violations(), full.violations.total());
+}
+
 TEST(TabuSearch, ImprovesCostAndStaysFeasible) {
   const Instance inst = make_random_instance(21, 8, 24);
   const ConstraintChecker checker(inst);

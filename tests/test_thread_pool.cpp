@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <new>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace iaas {
@@ -76,6 +79,70 @@ TEST(ThreadPool, ParallelForWorksWithSingleWorker) {
   std::vector<int> expected(10);
   std::iota(expected.begin(), expected.end(), 0);
   EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ParallelForAbandonsUnclaimedChunksAfterException) {
+  ThreadPool pool(2);
+  // Index 0 (first chunk) throws immediately; every other iteration
+  // stalls briefly, so chunks in flight when the abort flag goes up
+  // finish but the many remaining chunks are never claimed.
+  std::atomic<std::size_t> executed{0};
+  const std::size_t total = 120;  // 8 chunks of 15 with 2 workers
+  EXPECT_THROW(
+      pool.parallel_for(0, total,
+                        [&](std::size_t i) {
+                          if (i == 0) {
+                            throw std::runtime_error("first");
+                          }
+                          std::this_thread::sleep_for(
+                              std::chrono::milliseconds(1));
+                          executed.fetch_add(1);
+                        }),
+      std::runtime_error);
+  // At most the chunks claimed by the (workers + caller) participants
+  // before the abort became visible can have run.
+  EXPECT_LT(executed.load(), total);
+}
+
+TEST(ThreadPool, UsableAfterParallelForException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   0, 10, [](std::size_t) { throw std::bad_alloc(); }),
+               std::bad_alloc);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(0, 10, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45u);
+  auto f = pool.submit([&] { sum = 0; });
+  f.get();
+  EXPECT_EQ(sum.load(), 0u);
+}
+
+TEST(ThreadPool, ExceptionOnCallerThreadChunkPropagates) {
+  // With one worker and two chunks, the calling thread drains one of
+  // them itself; whichever side throws, the caller must see it.
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(0, 8,
+                                 [](std::size_t) {
+                                   throw std::runtime_error("everywhere");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForFromMultipleThreadsConcurrently) {
+  // Two client threads driving disjoint parallel_for calls over one pool
+  // (the pattern of several NSGA engines sharing ThreadPool::shared()).
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(400);
+  auto client = [&](std::size_t lo, std::size_t hi) {
+    pool.parallel_for(lo, hi, [&](std::size_t i) { hits[i].fetch_add(1); });
+  };
+  std::thread first(client, 0, 200);
+  std::thread second(client, 200, 400);
+  first.join();
+  second.join();
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
 }
 
 TEST(ThreadPool, SharedPoolIsSingleton) {
