@@ -35,6 +35,24 @@ SweepConfig apply_env(SweepConfig config) {
     config.per_run_cap_seconds =
         std::min(config.per_run_cap_seconds, 5.0);
   }
+  if (const char* sizes = std::getenv("IAAS_BENCH_SIZES")) {
+    std::vector<std::uint32_t> parsed;
+    const char* p = sizes;
+    while (*p != '\0') {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(p, &end, 10);
+      if (end == p) {
+        break;  // no digits left; ignore the rest
+      }
+      if (v > 0) {
+        parsed.push_back(static_cast<std::uint32_t>(v));
+      }
+      p = *end == ',' ? end + 1 : end;
+    }
+    if (!parsed.empty()) {
+      config.server_sizes = std::move(parsed);
+    }
+  }
   return config;
 }
 

@@ -8,6 +8,9 @@
 //                    (the paper averages 100 runs on a Celeron NUC —
 //                     crank this up for paper-grade averaging)
 //   IAAS_BENCH_FAST  if set, shrink sweeps for smoke-testing
+//   IAAS_BENCH_SIZES comma-separated server counts overriding the
+//                    sweep's sizes (applied after FAST, so an explicit
+//                    list always wins — e.g. "16" for the trace smoke)
 //   IAAS_BENCH_CSV_DIR directory for CSV dumps; default "."
 #pragma once
 

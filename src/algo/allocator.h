@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "common/telemetry.h"
 #include "model/instance.h"
 #include "model/objectives.h"
 #include "model/placement.h"
@@ -34,6 +35,10 @@ struct AllocationResult {
 
   double wall_seconds = 0.0;       // Fig. 7/8
   std::size_t evaluations = 0;     // EA objective evaluations (0 otherwise)
+
+  // Per-generation decision trace (empty unless the algorithm is an EA
+  // run with NsgaConfig::collect_trace set).
+  telemetry::RunTrace trace;
 
   [[nodiscard]] double rejection_rate() const {
     return vm_count == 0

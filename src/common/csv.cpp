@@ -1,18 +1,47 @@
 #include "common/csv.h"
 
+#include <cstdio>
+
 #include "common/expect.h"
 
 namespace iaas {
 
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
-    : out_(path, std::ios::trunc), columns_(header.size()) {
+    : out_(path, std::ios::trunc), path_(path), columns_(header.size()) {
+  IAAS_EXPECT(out_.is_open(), ("csv: cannot open " + path_).c_str());
   write_row(header);
+}
+
+CsvWriter::~CsvWriter() {
+  if (closed_) {
+    return;
+  }
+  out_.flush();
+  if (!out_.good()) {
+    // Destructors must not abort; a loud warning is the best we can do
+    // for a writer the caller never flushed/closed explicitly.
+    std::fprintf(stderr, "iaas: csv: write error on %s (rows lost)\n",
+                 path_.c_str());
+  }
 }
 
 void CsvWriter::add_row(const std::vector<std::string>& row) {
   IAAS_EXPECT(row.size() == columns_, "csv row width must match header");
+  IAAS_EXPECT(!closed_, ("csv: add_row after close on " + path_).c_str());
   write_row(row);
+}
+
+void CsvWriter::flush() {
+  out_.flush();
+  IAAS_EXPECT(out_.good(), ("csv: write error on " + path_).c_str());
+}
+
+void CsvWriter::close() {
+  flush();
+  out_.close();
+  IAAS_EXPECT(out_.good(), ("csv: close error on " + path_).c_str());
+  closed_ = true;
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& row) {

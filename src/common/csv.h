@@ -1,5 +1,11 @@
 // Minimal CSV writer so bench binaries can dump machine-readable series
 // alongside their stdout tables (one file per figure, plottable as-is).
+//
+// Failure policy: an unopenable path aborts at construction (IAAS_EXPECT
+// — results silently vanishing is worse than a crash in a research
+// artefact), and write errors surface on flush()/close().  A writer
+// destroyed with a bad stream warns on stderr instead of aborting
+// (destructors must not throw/abort during unwinding).
 #pragma once
 
 #include <fstream>
@@ -11,18 +17,31 @@ namespace iaas {
 class CsvWriter {
  public:
   // Opens (truncates) `path` and writes the header row immediately.
+  // Aborts with a diagnostic naming the path when the file cannot be
+  // opened.
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
 
   void add_row(const std::vector<std::string>& row);
 
+  // Push buffered rows to disk; aborts with the path when the stream has
+  // gone bad (disk full, file deleted under us, ...).
+  void flush();
+
+  // flush() + close the stream; further add_row calls are invalid.
+  void close();
+
   [[nodiscard]] bool ok() const { return out_.good(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
   void write_row(const std::vector<std::string>& row);
   static std::string escape(const std::string& field);
 
   std::ofstream out_;
+  std::string path_;
   std::size_t columns_;
+  bool closed_ = false;
 };
 
 }  // namespace iaas

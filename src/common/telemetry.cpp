@@ -1,0 +1,172 @@
+#include "common/telemetry.h"
+
+#include <cstdio>
+
+#include "common/csv.h"
+
+namespace iaas::telemetry {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kEvaluations:
+      return "evaluations";
+    case Counter::kStateRebuilds:
+      return "state_rebuilds";
+    case Counter::kDeltaMoves:
+      return "delta_moves";
+    case Counter::kRepairInvocations:
+      return "repair_invocations";
+    case Counter::kRepairedIndividuals:
+      return "repaired_individuals";
+    case Counter::kUnrepairableIndividuals:
+      return "unrepairable_individuals";
+    case Counter::kTabuMovesTried:
+      return "tabu_moves_tried";
+    case Counter::kTabuMovesAccepted:
+      return "tabu_moves_accepted";
+    case Counter::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kTournament:
+      return "tournament";
+    case Phase::kVariation:
+      return "variation";
+    case Phase::kRepair:
+      return "repair";
+    case Phase::kEvaluate:
+      return "evaluate";
+    case Phase::kSelection:
+      return "selection";
+    case Phase::kAllocate:
+      return "allocate";
+    case Phase::kSimWindow:
+      return "sim_window";
+    case Phase::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+void Registry::flush_counters(const CounterBlock& block) {
+  std::lock_guard lock(mutex_);
+  counters_.merge(block);
+}
+
+void Registry::add_phase_seconds(Phase p, double seconds) {
+  std::lock_guard lock(mutex_);
+  seconds_[static_cast<std::size_t>(p)] += seconds;
+}
+
+CounterBlock Registry::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+std::array<double, kPhaseCount> Registry::phase_seconds() const {
+  std::lock_guard lock(mutex_);
+  return seconds_;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  counters_.reset();
+  seconds_.fill(0.0);
+}
+
+#if IAAS_TELEMETRY
+
+namespace {
+thread_local CounterBlock* t_sink = nullptr;
+}  // namespace
+
+void count(Counter c, std::uint64_t n) {
+  if (t_sink != nullptr) {
+    (*t_sink)[c] += n;
+  }
+}
+
+bool sink_installed() { return t_sink != nullptr; }
+
+ScopedSink::ScopedSink(CounterBlock& block) : previous_(t_sink) {
+  t_sink = &block;
+}
+
+ScopedSink::~ScopedSink() { t_sink = previous_; }
+
+#endif  // IAAS_TELEMETRY
+
+const std::vector<std::string>& RunTrace::columns() {
+  static const std::vector<std::string> kColumns = {
+      "generation",       "evaluations",
+      "full_rebuilds",    "delta_moves",
+      "repair_invocations", "repaired",
+      "unrepairable",     "tabu_moves_tried",
+      "tabu_moves_accepted", "front_size",
+      "best_usage",       "best_downtime",
+      "best_migration",   "seconds_tournament",
+      "seconds_variation", "seconds_repair",
+      "seconds_evaluate", "seconds_selection",
+  };
+  return kColumns;
+}
+
+namespace {
+
+std::string num(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::vector<std::string> RunTrace::row_values(const GenerationRow& row) {
+  return {
+      std::to_string(row.generation),
+      std::to_string(row.evaluations),
+      std::to_string(row.full_rebuilds),
+      std::to_string(row.delta_moves),
+      std::to_string(row.repair_invocations),
+      std::to_string(row.repaired),
+      std::to_string(row.unrepairable),
+      std::to_string(row.tabu_moves_tried),
+      std::to_string(row.tabu_moves_accepted),
+      std::to_string(row.front_size),
+      num(row.best_objectives[0]),
+      num(row.best_objectives[1]),
+      num(row.best_objectives[2]),
+      num(row.seconds_tournament),
+      num(row.seconds_variation),
+      num(row.seconds_repair),
+      num(row.seconds_evaluate),
+      num(row.seconds_selection),
+  };
+}
+
+std::size_t RunTrace::total(std::size_t GenerationRow::*field) const {
+  std::size_t sum = 0;
+  for (const GenerationRow& row : rows) {
+    sum += row.*field;
+  }
+  return sum;
+}
+
+void RunTrace::write_csv(const std::string& path) const {
+  CsvWriter csv(path, columns());
+  for (const GenerationRow& row : rows) {
+    csv.add_row(row_values(row));
+  }
+  csv.close();
+}
+
+}  // namespace iaas::telemetry

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <limits>
 #include <optional>
 #include <span>
 #include <utility>
@@ -11,6 +12,46 @@
 #include "ea/archive.h"
 
 namespace iaas {
+namespace {
+
+// Front size + best (min-aggregate) objective vector of the survivors;
+// called right after environmental_selection stamps ranks.
+void stamp_population_summary(const Population& population,
+                              telemetry::GenerationRow& row) {
+  row.front_size = 0;
+  double best = std::numeric_limits<double>::infinity();
+  const Individual* best_ind = nullptr;
+  for (const Individual& ind : population) {
+    if (ind.rank == 0) {
+      ++row.front_size;
+    }
+    double aggregate = 0.0;
+    for (double v : ind.objectives) {
+      aggregate += v;
+    }
+    if (aggregate < best) {
+      best = aggregate;
+      best_ind = &ind;
+    }
+  }
+  if (best_ind != nullptr) {
+    row.best_objectives = best_ind->objectives;
+  }
+}
+
+// Per-generation push of the traced phase times into the global registry
+// (only meaningful when tracing — the timers are disabled otherwise).
+void flush_row_phases(const telemetry::GenerationRow& row) {
+  using telemetry::Phase;
+  auto& registry = telemetry::Registry::global();
+  registry.add_phase_seconds(Phase::kTournament, row.seconds_tournament);
+  registry.add_phase_seconds(Phase::kVariation, row.seconds_variation);
+  registry.add_phase_seconds(Phase::kRepair, row.seconds_repair);
+  registry.add_phase_seconds(Phase::kEvaluate, row.seconds_evaluate);
+  registry.add_phase_seconds(Phase::kSelection, row.seconds_selection);
+}
+
+}  // namespace
 
 NsgaBase::NsgaBase(const AllocationProblem& problem, NsgaConfig config,
                    RepairFn repair, StateRepairFn state_repair)
@@ -103,7 +144,29 @@ void NsgaBase::repair_genes(std::vector<std::int32_t>& genes, Rng& rng,
   ++stats.repairs;
 }
 
+void NsgaBase::absorb_stats(telemetry::GenerationRow& row,
+                            const TaskStats& stats) {
+  using telemetry::Counter;
+  const telemetry::CounterBlock& c = stats.counters;
+  row.evaluations += stats.evaluations;
+  row.repair_invocations += stats.repairs;
+  row.full_rebuilds += static_cast<std::size_t>(c[Counter::kStateRebuilds]);
+  row.delta_moves += static_cast<std::size_t>(c[Counter::kDeltaMoves]);
+  row.repaired +=
+      static_cast<std::size_t>(c[Counter::kRepairedIndividuals]);
+  row.unrepairable +=
+      static_cast<std::size_t>(c[Counter::kUnrepairableIndividuals]);
+  row.tabu_moves_tried +=
+      static_cast<std::size_t>(c[Counter::kTabuMovesTried]);
+  row.tabu_moves_accepted +=
+      static_cast<std::size_t>(c[Counter::kTabuMovesAccepted]);
+  row.seconds_variation += stats.seconds_variation;
+  row.seconds_repair += stats.seconds_repair;
+  row.seconds_evaluate += stats.seconds_evaluate;
+}
+
 void NsgaBase::repair_evaluate(Individual& ind, Rng& rng, TaskStats& stats) {
+  const bool tracing = config_.collect_trace;
   const bool do_repair =
       config_.constraint_mode == ConstraintMode::kRepair &&
       config_.repair_offspring;
@@ -113,8 +176,16 @@ void NsgaBase::repair_evaluate(Individual& ind, Rng& rng, TaskStats& stats) {
     // state read-out after it IS the evaluation of the repaired genes.
     AllocationProblem::EvaluatorLease lease(*problem_);
     PlacementState& state = lease->state();
-    state.rebuild(ind.genes);
-    state_repair_(state, rng);
+    {
+      telemetry::ScopedTimer timer(tracing ? &stats.seconds_evaluate
+                                           : nullptr);
+      state.rebuild(ind.genes);
+    }
+    {
+      telemetry::ScopedTimer timer(tracing ? &stats.seconds_repair
+                                           : nullptr);
+      state_repair_(state, rng);
+    }
     ++stats.repairs;
     if (state.applied_moves() > 0) {
       ind.genes = state.placement().genes();
@@ -122,10 +193,17 @@ void NsgaBase::repair_evaluate(Individual& ind, Rng& rng, TaskStats& stats) {
     ind.objectives = state.objectives().as_array();
     ind.violations = state.total_violations();
     ind.evaluated = true;
+    // The fused path bypasses AllocationProblem::evaluate (which counts
+    // its own calls), so the evaluation is counted here.
+    telemetry::count(telemetry::Counter::kEvaluations);
   } else {
     if (do_repair) {
+      telemetry::ScopedTimer timer(tracing ? &stats.seconds_repair
+                                           : nullptr);
       repair_genes(ind.genes, rng, stats);
     }
+    telemetry::ScopedTimer timer(tracing ? &stats.seconds_evaluate
+                                         : nullptr);
     problem_->evaluate(ind);
   }
   ++stats.evaluations;
@@ -142,10 +220,13 @@ void NsgaBase::variation_task(const Population& parents, MatingTask& task,
   const Individual& parent_b = parents[task.parent_b];
   std::vector<std::int32_t> genes_a = parent_a.genes;
   std::vector<std::int32_t> genes_b = parent_b.genes;
+  const bool tracing = config_.collect_trace;
   // Paper Fig. 4: parents that "do not respect users constraints" pass
   // through the repair before they are allowed to reproduce.
   if (config_.constraint_mode == ConstraintMode::kRepair &&
       config_.repair_parents) {
+    telemetry::ScopedTimer timer(tracing ? &task.stats.seconds_repair
+                                         : nullptr);
     if (parent_a.violations > 0) {
       repair_genes(genes_a, rng, task.stats);
     }
@@ -160,11 +241,15 @@ void NsgaBase::variation_task(const Population& parents, MatingTask& task,
   std::vector<std::int32_t> discard;
   std::vector<std::int32_t>& second_genes =
       child_b != nullptr ? child_b->genes : discard;
-  sbx_crossover(genes_a, genes_b, child_a->genes, second_genes, max_gene,
-                sbx, rng);
-  polynomial_mutation(child_a->genes, max_gene, pm, rng);
-  if (child_b != nullptr) {
-    polynomial_mutation(child_b->genes, max_gene, pm, rng);
+  {
+    telemetry::ScopedTimer timer(tracing ? &task.stats.seconds_variation
+                                         : nullptr);
+    sbx_crossover(genes_a, genes_b, child_a->genes, second_genes, max_gene,
+                  sbx, rng);
+    polynomial_mutation(child_a->genes, max_gene, pm, rng);
+    if (child_b != nullptr) {
+      polynomial_mutation(child_b->genes, max_gene, pm, rng);
+    }
   }
   repair_evaluate(*child_a, rng, task.stats);
   if (child_b != nullptr) {
@@ -187,6 +272,8 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
   Rng rng(seed);
   ThreadPool* pool = evaluation_pool();
   Result result;
+  const bool tracing = config_.collect_trace;
+  result.trace.seed = seed;
 
   const std::int32_t max_gene = problem_->max_gene();
 
@@ -206,18 +293,26 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
   }
   // Parallel phase: in repair mode initial individuals are repaired too,
   // so the search starts from the feasible region; evaluation rides in
-  // the same task.
+  // the same task.  Each task's telemetry lands in its own counter
+  // block; the serial merge below keeps the tallies (and the trace row)
+  // deterministic at any thread count.
+  telemetry::GenerationRow init_row;
   {
     std::vector<TaskStats> stats(population.size());
     const Rng init_base = rng;
     run_tasks(pool, population.size(), [&](std::size_t i) {
+      telemetry::ScopedSink sink(stats[i].counters);
       Rng task_rng = init_base.child_stream(i);
       repair_evaluate(population[i], task_rng, stats[i]);
     });
+    telemetry::CounterBlock task_counters;
     for (const TaskStats& s : stats) {
       result.repair_invocations += s.repairs;
       result.evaluations += s.evaluations;
+      absorb_stats(init_row, s);
+      task_counters.merge(s.counters);
     }
+    telemetry::Registry::global().flush_counters(task_counters);
   }
 
   std::optional<ParetoArchive> archive;
@@ -232,26 +327,40 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
   // environmental_selection moves the survivors out of its input, and the
   // input is discarded right after — no copy needed.
   {
+    telemetry::ScopedTimer timer(tracing ? &init_row.seconds_selection
+                                         : nullptr);
     Population ranked;
     environmental_selection(population, ranked, rng);
     population = std::move(ranked);
   }
+  if (tracing) {
+    stamp_population_summary(population, init_row);
+    init_row.generation = 0;
+    flush_row_phases(init_row);
+    result.trace.rows.push_back(init_row);
+  }
 
   while (result.evaluations < config_.max_evaluations) {
     const std::size_t pair_count = (config_.population_size + 1) / 2;
+    telemetry::GenerationRow row;
+    row.generation = result.generations + 1;
 
     // Phase 1 (serial): tournament draws consume the main stream in a
     // fixed order regardless of thread count; each pair gets its own
     // counter-derived child stream for everything downstream.
     std::vector<MatingTask> tasks;
     tasks.reserve(pair_count);
-    for (std::size_t p = 0; p < pair_count; ++p) {
-      const std::size_t index_a = static_cast<std::size_t>(
-          &tournament(population, rng) - population.data());
-      const std::size_t index_b = static_cast<std::size_t>(
-          &tournament(population, rng) - population.data());
-      tasks.push_back(
-          MatingTask{index_a, index_b, rng.child_stream(p), TaskStats{}});
+    {
+      telemetry::ScopedTimer timer(tracing ? &row.seconds_tournament
+                                           : nullptr);
+      for (std::size_t p = 0; p < pair_count; ++p) {
+        const std::size_t index_a = static_cast<std::size_t>(
+            &tournament(population, rng) - population.data());
+        const std::size_t index_b = static_cast<std::size_t>(
+            &tournament(population, rng) - population.data());
+        tasks.push_back(
+            MatingTask{index_a, index_b, rng.child_stream(p), TaskStats{}});
+      }
     }
 
     // Phase 2 (parallel): each pair's crossover, mutation, repair, and
@@ -259,15 +368,20 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
     // 2p / 2p+1 — deterministic for any thread count.
     Population offspring(config_.population_size);
     run_tasks(pool, pair_count, [&](std::size_t p) {
+      telemetry::ScopedSink sink(tasks[p].stats.counters);
       Individual* child_b = 2 * p + 1 < offspring.size()
                                 ? &offspring[2 * p + 1]
                                 : nullptr;
       variation_task(population, tasks[p], &offspring[2 * p], child_b);
     });
+    telemetry::CounterBlock task_counters;
     for (const MatingTask& task : tasks) {
       result.repair_invocations += task.stats.repairs;
       result.evaluations += task.stats.evaluations;
+      absorb_stats(row, task.stats);
+      task_counters.merge(task.stats.counters);
     }
+    telemetry::Registry::global().flush_counters(task_counters);
 
     if (archive) {
       for (const Individual& ind : offspring) {
@@ -282,10 +396,19 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
     std::move(offspring.begin(), offspring.end(),
               std::back_inserter(merged));
 
-    Population next;
-    environmental_selection(merged, next, rng);
-    population = std::move(next);
+    {
+      telemetry::ScopedTimer timer(tracing ? &row.seconds_selection
+                                           : nullptr);
+      Population next;
+      environmental_selection(merged, next, rng);
+      population = std::move(next);
+    }
     ++result.generations;
+    if (tracing) {
+      stamp_population_summary(population, row);
+      flush_row_phases(row);
+      result.trace.rows.push_back(row);
+    }
   }
 
   // Final front: rank-0 members under the engine's dominance.  The sort

@@ -25,6 +25,7 @@
 #include <memory>
 
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "ea/individual.h"
 #include "ea/nondominated_sort.h"
@@ -57,6 +58,10 @@ class NsgaBase {
     std::size_t evaluations = 0;
     std::size_t repair_invocations = 0;
     std::size_t generations = 0;
+    // Per-generation decision trace; empty unless config.collect_trace.
+    // Counter columns are deterministic at any thread count (summed from
+    // per-task blocks in task order); the seconds columns are not.
+    telemetry::RunTrace trace;
   };
 
   // `state_repair`, when given alongside `repair`, switches offspring
@@ -95,10 +100,17 @@ class NsgaBase {
 
  private:
   // Per-task tallies, accumulated into Result on the serial side so the
-  // totals are deterministic (no atomics, no ordering dependence).
+  // totals are deterministic (no atomics, no ordering dependence).  The
+  // counter block is the task's telemetry sink (installed around the
+  // task body); the seconds fields are only written when collect_trace
+  // is on (null-target timers otherwise).
   struct TaskStats {
     std::size_t repairs = 0;
     std::size_t evaluations = 0;
+    telemetry::CounterBlock counters;
+    double seconds_variation = 0.0;
+    double seconds_repair = 0.0;
+    double seconds_evaluate = 0.0;
   };
 
   // Serial-phase product: everything one variation task needs, fixed
@@ -124,6 +136,14 @@ class NsgaBase {
 
   void repair_genes(std::vector<std::int32_t>& genes, Rng& rng,
                     TaskStats& stats);
+
+  // Folds one task's tallies into a trace row (serial side only).
+  // row.repair_invocations mirrors Result::repair_invocations (every
+  // repair call), not the kRepairInvocations counter (walks that saw
+  // violations) — the repaired/unrepairable columns carry the latter's
+  // outcome split.
+  static void absorb_stats(telemetry::GenerationRow& row,
+                           const TaskStats& stats);
 
   // Runs fn(0..count) serially or over the pool.
   void run_tasks(ThreadPool* pool, std::size_t count,

@@ -59,6 +59,12 @@ struct NsgaConfig {
   // Parallel objective evaluation: 0 = use the process-shared pool,
   // 1 = strictly serial, otherwise a dedicated pool of that many threads.
   std::size_t threads = 1;
+
+  // Record a per-generation telemetry::RunTrace in the engine Result
+  // (counters are deterministic at any thread count; the wall-time
+  // columns are not).  Off by default: tracing adds a timer read per
+  // phase per task.
+  bool collect_trace = false;
 };
 
 }  // namespace iaas

@@ -1,6 +1,7 @@
 #include "ea/problem.h"
 
 #include "common/expect.h"
+#include "common/telemetry.h"
 #include "model/placement.h"
 
 namespace iaas {
@@ -46,6 +47,7 @@ std::vector<std::int32_t> AllocationProblem::warm_start_genes(
 void AllocationProblem::evaluate(Individual& individual) const {
   IAAS_EXPECT(individual.genes.size() == gene_count(),
               "individual gene count mismatch");
+  telemetry::count(telemetry::Counter::kEvaluations);
   EvaluatorLease lease(*this);
   // Pooled evaluators keep their PlacementState accumulators across
   // individuals (repair-mode populations cycle through here constantly),

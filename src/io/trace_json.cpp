@@ -1,0 +1,86 @@
+#include "io/trace_json.h"
+
+#include <fstream>
+
+#include "common/expect.h"
+
+namespace iaas {
+
+namespace {
+
+Json row_to_json(const telemetry::GenerationRow& row) {
+  // Mirrors RunTrace::columns() order exactly — check_trace and the
+  // notebook joins rely on positional access.
+  Json out = Json::array();
+  const auto push = [&out](double v) { out.push_back(Json::number(v)); };
+  push(static_cast<double>(row.generation));
+  push(static_cast<double>(row.evaluations));
+  push(static_cast<double>(row.full_rebuilds));
+  push(static_cast<double>(row.delta_moves));
+  push(static_cast<double>(row.repair_invocations));
+  push(static_cast<double>(row.repaired));
+  push(static_cast<double>(row.unrepairable));
+  push(static_cast<double>(row.tabu_moves_tried));
+  push(static_cast<double>(row.tabu_moves_accepted));
+  push(static_cast<double>(row.front_size));
+  push(row.best_objectives[0]);
+  push(row.best_objectives[1]);
+  push(row.best_objectives[2]);
+  push(row.seconds_tournament);
+  push(row.seconds_variation);
+  push(row.seconds_repair);
+  push(row.seconds_evaluate);
+  push(row.seconds_selection);
+  return out;
+}
+
+}  // namespace
+
+Json trace_to_json(const telemetry::RunTrace& trace) {
+  Json out = Json::object();
+  out["label"] = Json::string(trace.label);
+  out["seed"] = Json::number(static_cast<double>(trace.seed));
+  Json columns = Json::array();
+  for (const std::string& name : telemetry::RunTrace::columns()) {
+    columns.push_back(Json::string(name));
+  }
+  out["columns"] = std::move(columns);
+  Json rows = Json::array();
+  for (const telemetry::GenerationRow& row : trace.rows) {
+    rows.push_back(row_to_json(row));
+  }
+  out["rows"] = std::move(rows);
+  return out;
+}
+
+void write_trace_json(const telemetry::RunTrace& trace,
+                      const std::string& path) {
+  std::ofstream out(path);
+  IAAS_EXPECT(out.is_open(),
+              ("trace_json: cannot open " + path).c_str());
+  out << trace_to_json(trace).dump(2) << '\n';
+  out.flush();
+  IAAS_EXPECT(out.good(), ("trace_json: write error on " + path).c_str());
+}
+
+Json registry_to_json(const telemetry::Registry& registry) {
+  Json out = Json::object();
+  Json counters = Json::object();
+  const telemetry::CounterBlock block = registry.counters();
+  for (std::size_t i = 0; i < telemetry::kCounterCount; ++i) {
+    const auto c = static_cast<telemetry::Counter>(i);
+    counters[telemetry::counter_name(c)] =
+        Json::number(static_cast<double>(block[c]));
+  }
+  out["counters"] = std::move(counters);
+  Json phases = Json::object();
+  const auto seconds = registry.phase_seconds();
+  for (std::size_t i = 0; i < telemetry::kPhaseCount; ++i) {
+    const auto p = static_cast<telemetry::Phase>(i);
+    phases[telemetry::phase_name(p)] = Json::number(seconds[i]);
+  }
+  out["phase_seconds"] = std::move(phases);
+  return out;
+}
+
+}  // namespace iaas

@@ -1,0 +1,28 @@
+// JSON emitters for the telemetry subsystem (common/telemetry):
+// RunTrace -> one object per run ({label, seed, columns, rows}) and a
+// global-registry snapshot ({counters, phase_seconds}).  Lives in io
+// (not common) because iaas_common cannot depend on the Json layer.
+#pragma once
+
+#include <string>
+
+#include "common/telemetry.h"
+#include "io/json.h"
+
+namespace iaas {
+
+// {"label": ..., "seed": ..., "columns": [...], "rows": [[...], ...]}.
+// Rows are arrays in columns() order (numbers, not strings) — compact
+// enough to emit per generation, trivially joinable with the CSV twin.
+Json trace_to_json(const telemetry::RunTrace& trace);
+
+// trace_to_json + pretty-printed write; fails loudly (IAAS_EXPECT) on an
+// unopenable path or a failed write, mirroring common/csv rules.
+void write_trace_json(const telemetry::RunTrace& trace,
+                      const std::string& path);
+
+// Snapshot of telemetry::Registry::global():
+// {"counters": {name: n, ...}, "phase_seconds": {name: s, ...}}.
+Json registry_to_json(const telemetry::Registry& registry);
+
+}  // namespace iaas

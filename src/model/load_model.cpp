@@ -5,8 +5,18 @@
 namespace iaas {
 
 double qos_at_load(double load, double max_load, double max_qos) {
-  IAAS_DEBUG_EXPECT(max_load >= 0.0 && max_load < 1.0,
-                    "max load must be in [0,1)");
+  // Eq. 24 divides by (1 - L^M): a knee at exactly 1.0 (or NaN, or out
+  // of range) would emit inf/NaN that propagates into the Eq. 23
+  // downtime cost and silently poisons every objective downstream.
+  // Clamp in all build modes — a server loadable to 100% degrades with
+  // the steepest finite slope instead.  validate_instance additionally
+  // flags such servers on untrusted input.
+  constexpr double kKneeCeiling = 1.0 - 1e-9;
+  if (!(max_load >= 0.0)) {  // negated compare also catches NaN
+    max_load = 0.0;
+  } else if (max_load > kKneeCeiling) {
+    max_load = kKneeCeiling;
+  }
   if (load <= max_load) {
     return max_qos;
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/telemetry.h"
 #include "model/load_model.h"
 
 namespace iaas {
@@ -37,6 +38,11 @@ PlacementState::PlacementState(const Instance& instance,
 void PlacementState::rebuild(std::span<const std::int32_t> genes) {
   IAAS_EXPECT(genes.size() == instance_->n(),
               "placement size mismatch with instance");
+  // Counted here rather than in rebuild_from_placement: the constructor
+  // also scans (over an all-rejected placement), but evaluator-pool
+  // construction varies with thread count and would make the tally
+  // nondeterministic.
+  telemetry::count(telemetry::Counter::kStateRebuilds);
   std::vector<std::int32_t>& dst = placement_.genes();
   std::copy(genes.begin(), genes.end(), dst.begin());
   rebuild_from_placement();
@@ -377,6 +383,7 @@ void PlacementState::apply() {
 }
 
 void PlacementState::apply_move(std::size_t k, std::int32_t target) {
+  telemetry::count(telemetry::Counter::kDeltaMoves);
   undo_.push_back(Move{k, placement_.server_of(k)});
   do_move(k, target);
   pending_.reset();

@@ -12,9 +12,20 @@ std::vector<std::string> validate_instance(const Instance& instance) {
   const std::size_t h = instance.h();
 
   for (std::size_t j = 0; j < instance.m(); ++j) {
-    if (!instance.infra.server(j).valid(h)) {
+    const Server& server = instance.infra.server(j);
+    if (!server.valid(h)) {
       findings.push_back("server " + std::to_string(j) +
                          ": record fails range validation");
+    }
+    // Called out separately from the generic range check: max_load == 1
+    // hits the Eq. 24 singularity (QoS model divides by 1 - L^M), which
+    // qos_at_load clamps at runtime but scenario authors should fix.
+    for (std::size_t l = 0; l < server.max_load.size() && l < h; ++l) {
+      if (!(server.max_load[l] < 1.0) || server.max_load[l] < 0.0) {
+        findings.push_back("server " + std::to_string(j) + ": max_load[" +
+                           attribute_name(l) +
+                           "] outside [0,1) hits the Eq. 24 singularity");
+      }
     }
   }
   if (!instance.requests.valid(h)) {

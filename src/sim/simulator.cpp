@@ -6,15 +6,14 @@
 #include "common/expect.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
 
 namespace iaas {
 namespace {
 
-// Knuth's Poisson sampler; adequate for window-level arrival counts.
-std::size_t poisson(double mean, Rng& rng) {
-  if (mean <= 0.0) {
-    return 0;
-  }
+// Knuth's Poisson sampler.  Only valid while exp(-mean) stays a normal
+// double — the caller chunks larger means.
+std::size_t poisson_knuth(double mean, Rng& rng) {
   const double limit = std::exp(-mean);
   std::size_t k = 0;
   double p = 1.0;
@@ -25,10 +24,30 @@ std::size_t poisson(double mean, Rng& rng) {
   return k - 1;
 }
 
+}  // namespace
+
+std::size_t poisson_sample(double mean, Rng& rng) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  // exp(-mean) underflows to 0 for mean > ~745, after which Knuth's loop
+  // only terminates when the running product itself underflows — the
+  // result is distribution garbage, not Poisson.  Split the mean into
+  // <= 500 chunks instead: a sum of independent Poisson(m_i) draws is
+  // Poisson(sum m_i), and exp(-500) ~ 7e-218 is comfortably normal.
+  constexpr double kChunk = 500.0;
+  std::size_t total = 0;
+  while (mean > kChunk) {
+    total += poisson_knuth(kChunk, rng);
+    mean -= kChunk;
+  }
+  return total + poisson_knuth(mean, rng);
+}
+
 // Remove the VMs with keep[k] == 0 from the set + placement, remapping
 // relationship-group indices (groups shrinking below two members vanish).
-void compact(RequestSet& requests, Placement& placement,
-             const std::vector<char>& keep) {
+void compact_requests(RequestSet& requests, Placement& placement,
+                      const std::vector<char>& keep) {
   std::vector<std::uint32_t> remap(requests.vms.size(), 0);
   std::vector<VmRequest> vms;
   std::vector<std::int32_t> genes;
@@ -56,8 +75,6 @@ void compact(RequestSet& requests, Placement& placement,
   requests.constraints = std::move(constraints);
   placement = Placement(std::move(genes));
 }
-
-}  // namespace
 
 CloudSimulator::CloudSimulator(SimConfig config,
                                std::unique_ptr<Allocator> allocator)
@@ -90,7 +107,7 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
         }
       }
       if (row.departed > 0) {
-        compact(live, live_placement, keep);
+        compact_requests(live, live_placement, keep);
       }
     }
 
@@ -98,7 +115,7 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
     // either by the explicit schedule (trace-driven) or Poisson.
     const std::size_t arrivals =
         config_.arrival_schedule.empty()
-            ? poisson(config_.arrivals_per_window_mean, rng)
+            ? poisson_sample(config_.arrivals_per_window_mean, rng)
             : config_.arrival_schedule[w % config_.arrival_schedule.size()];
     row.arrived = arrivals;
     if (arrivals > 0) {
@@ -156,9 +173,18 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
     instance.previous = live_placement;
 
     Stopwatch timer;
-    const AllocationResult result =
-        allocator_->allocate(instance, rng.next_u64());
+    AllocationResult result;
+    {
+      telemetry::ScopedPhaseTimer phase(telemetry::Phase::kAllocate);
+      result = allocator_->allocate(instance, rng.next_u64());
+    }
     row.solve_seconds = timer.elapsed_seconds();
+    // Per-window decision trace of the allocator (empty unless the
+    // allocator collects one — see NsgaConfig::collect_trace).
+    row.allocator_trace = std::move(result.trace);
+    if (!row.allocator_trace.empty()) {
+      row.allocator_trace.label += " w" + std::to_string(w);
+    }
 
     const ReconfigurationPlan plan =
         make_plan(instance, live_placement, result.placement);
@@ -179,7 +205,7 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
       }
     }
     if (any_drop) {
-      compact(live, live_placement, keep);
+      compact_requests(live, live_placement, keep);
     }
     row.running = live.vms.size();
     metrics.push_back(row);

@@ -15,11 +15,27 @@
 #include <vector>
 
 #include "algo/allocator.h"
+#include "common/rng.h"
+#include "common/telemetry.h"
 #include "model/instance.h"
 #include "sim/reconfiguration_plan.h"
 #include "workload/generator.h"
 
 namespace iaas {
+
+// Poisson-distributed arrival count.  Knuth's multiplicative sampler for
+// small means; large means (where exp(-mean) would underflow, mean >
+// ~745) are split into <= 500 chunks and summed — Poisson additivity
+// keeps the distribution exact for arbitrarily heavy traffic.
+std::size_t poisson_sample(double mean, Rng& rng);
+
+// Remove the VMs with keep[k] == 0 from the set + placement: surviving
+// VM indices are compacted (and constraint-group members remapped to
+// them); relationship groups shrinking below two members are dropped.
+// Exposed for testing — the simulator applies it on departures and
+// rejections every window.
+void compact_requests(RequestSet& requests, Placement& placement,
+                      const std::vector<char>& keep);
 
 struct SimConfig {
   std::size_t windows = 10;
@@ -50,6 +66,9 @@ struct WindowMetrics {
   std::size_t displaced_vms = 0;   // VMs forced off failed servers
   ObjectiveVector objectives;  // of the applied placement
   double solve_seconds = 0.0;
+  // Per-window decision trace of the allocator's search (empty for
+  // non-EA allocators or when NsgaConfig::collect_trace is off).
+  telemetry::RunTrace allocator_trace;
 };
 
 class CloudSimulator {

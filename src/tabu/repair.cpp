@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/expect.h"
+#include "common/telemetry.h"
 #include "tabu/tabu_list.h"
 
 namespace iaas {
@@ -35,6 +36,7 @@ const std::vector<std::uint32_t>& TabuRepair::neighbours_of(
 std::int32_t TabuRepair::find_neighbour(const PlacementState& state,
                                         std::size_t k,
                                         const TabuList& tabu) const {
+  telemetry::count(telemetry::Counter::kTabuMovesTried);
   const std::int32_t current = state.placement().server_of(k);
   const std::size_t anchor =
       current >= 0 ? static_cast<std::size_t>(current) : 0;
@@ -56,6 +58,7 @@ std::int32_t TabuRepair::find_neighbour(const PlacementState& state,
 bool TabuRepair::relocate_group(PlacementState& state,
                                 const std::vector<std::uint32_t>& vms,
                                 std::int32_t target, TabuList& tabu) const {
+  telemetry::count(telemetry::Counter::kTabuMovesTried);
   const Instance& inst = *instance_;
   const Placement& placement = state.placement();
   const auto t = static_cast<std::size_t>(target);
@@ -302,6 +305,8 @@ std::uint32_t TabuRepair::repair_state(PlacementState& state,
   if (state.total_violations() == 0) {
     return 0;
   }
+  telemetry::count(telemetry::Counter::kRepairInvocations);
+  const std::size_t moves_before = state.applied_moves();
   TabuList tabu(options_.tabu_tenure);
 
   std::uint32_t remaining = state.total_violations();
@@ -325,6 +330,11 @@ std::uint32_t TabuRepair::repair_state(PlacementState& state,
     }
     remaining = state.total_violations();
   }
+  telemetry::count(telemetry::Counter::kTabuMovesAccepted,
+                   state.applied_moves() - moves_before);
+  telemetry::count(remaining == 0
+                       ? telemetry::Counter::kRepairedIndividuals
+                       : telemetry::Counter::kUnrepairableIndividuals);
   return remaining;
 }
 

@@ -1,8 +1,10 @@
 #include "tabu/tabu_search.h"
 
 #include <limits>
+#include <optional>
 
 #include "common/expect.h"
+#include "common/telemetry.h"
 #include "model/constraint_checker.h"
 #include "model/placement_state.h"
 #include "tabu/tabu_list.h"
@@ -22,6 +24,16 @@ TabuSearchResult TabuSearch::improve(const Placement& start, Rng& rng) {
 
   ConstraintChecker checker(inst);
   TabuList tabu(options_.tenure);
+
+  // Standalone runs (no EA task sink on this thread) tally into a local
+  // block flushed to the global registry on exit; inside an EA task the
+  // counts flow to that task's block instead, keeping traces
+  // deterministic.
+  telemetry::CounterBlock local_counters;
+  std::optional<telemetry::ScopedSink> own_sink;
+  if (!telemetry::sink_installed()) {
+    own_sink.emplace(local_counters);
+  }
 
   // One delta engine carries the walk; every candidate move is scored via
   // try_move in O(affected servers) instead of a full re-evaluation.
@@ -54,6 +66,7 @@ TabuSearchResult TabuSearch::improve(const Placement& start, Rng& rng) {
       if (!checker.is_valid_move(state, k, static_cast<std::size_t>(j))) {
         continue;
       }
+      telemetry::count(telemetry::Counter::kTabuMovesTried);
       const ObjectiveDelta trial = state.try_move(k, j);
 
       const bool is_tabu = tabu.is_tabu(static_cast<std::uint32_t>(k), j);
@@ -82,6 +95,7 @@ TabuSearchResult TabuSearch::improve(const Placement& start, Rng& rng) {
     // when it worsens the incumbent — that is how it escapes local
     // optima).
     const std::int32_t from = state.placement().server_of(best_vm);
+    telemetry::count(telemetry::Counter::kTabuMovesAccepted);
     state.apply_move(best_vm, best_target);
     tabu.forbid(static_cast<std::uint32_t>(best_vm), from);
 
@@ -96,6 +110,9 @@ TabuSearchResult TabuSearch::improve(const Placement& start, Rng& rng) {
         break;
       }
     }
+  }
+  if (own_sink) {
+    telemetry::Registry::global().flush_counters(local_counters);
   }
   return result;
 }

@@ -50,6 +50,36 @@ TEST_P(QosMonotone, NonIncreasingInLoad) {
 INSTANTIATE_TEST_SUITE_P(Knees, QosMonotone,
                          ::testing::Values(0.0, 0.3, 0.5, 0.7, 0.9, 0.99));
 
+// Eq. 24 divides by (1 - L^M): a knee at exactly 1.0 used to produce
+// inf/NaN in Release (the debug-only assert never fired there) and
+// poison the Eq. 23 downtime cost.  The clamp must hold in every build
+// mode.
+TEST(QosAtLoad, KneeAtOneIsClampedNotSingular) {
+  for (double load : {0.0, 0.5, 0.999, 1.0, 1.5}) {
+    const double q = qos_at_load(load, 1.0, 0.95);
+    EXPECT_TRUE(std::isfinite(q)) << "load " << load;
+    // exp() may underflow to exactly 0 past the clamped knee — finite
+    // and non-negative is the contract, never inf/NaN.
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 0.95);
+  }
+  // Below the (clamped) knee the plateau value survives intact.
+  EXPECT_DOUBLE_EQ(qos_at_load(0.5, 1.0, 0.95), 0.95);
+}
+
+TEST(QosAtLoad, BadKneeValuesSanitized) {
+  const double nan = std::nan("");
+  // NaN and negative knees degrade to knee 0 (decay from the start)
+  // instead of propagating NaN into the objective accumulators.
+  EXPECT_TRUE(std::isfinite(qos_at_load(0.5, nan, 0.95)));
+  EXPECT_TRUE(std::isfinite(qos_at_load(0.5, -0.3, 0.95)));
+  EXPECT_DOUBLE_EQ(qos_at_load(0.5, -0.3, 0.95),
+                   qos_at_load(0.5, 0.0, 0.95));
+  // Knees above 1 clamp to just-under-1, same as exactly 1.
+  EXPECT_DOUBLE_EQ(qos_at_load(1.2, 2.0, 0.95),
+                   qos_at_load(1.2, 1.0, 0.95));
+}
+
 TEST(ComputeLoads, SumsDemandsOverCapacity) {
   const Instance inst = make_instance(
       1, 2, {10.0, 20.0, 40.0},

@@ -235,6 +235,84 @@ TEST(NsgaBase, ThreadCountInvariantInAllConstraintModes) {
   }
 }
 
+TEST(NsgaBase, TraceCountersDeterministicAcrossThreadCounts) {
+  // The trace's counter columns are summed serially from per-task sink
+  // blocks, so every row must be bit-identical at any thread count, and
+  // the row totals must reconcile exactly with the Result tallies.
+  const Instance inst = test::make_random_instance(21, 8, 32);
+  const AllocationProblem problem(inst);
+  TabuRepair repair(inst);
+  const RepairFn repair_fn = [&repair](std::vector<std::int32_t>& genes,
+                                       Rng& rng) {
+    repair.repair(genes, rng);
+  };
+  const StateRepairFn state_fn = [&repair](PlacementState& state, Rng& rng) {
+    repair.repair_state(state, rng);
+  };
+
+  NsgaConfig serial = quick_config();
+  serial.constraint_mode = ConstraintMode::kRepair;
+  serial.collect_trace = true;
+  serial.threads = 1;
+  NsgaConfig parallel = serial;
+  parallel.threads = 8;
+
+  Nsga3 a(problem, serial, repair_fn, state_fn);
+  Nsga3 b(problem, parallel, repair_fn, state_fn);
+  const auto ra = a.run(91);
+  const auto rb = b.run(91);
+
+  using telemetry::GenerationRow;
+  ASSERT_FALSE(ra.trace.empty());
+  ASSERT_EQ(ra.trace.rows.size(), ra.generations + 1);  // + generation 0
+  EXPECT_EQ(ra.trace.seed, 91u);
+
+  // Trace totals reconcile exactly with the engine's own tallies.
+  EXPECT_EQ(ra.trace.total(&GenerationRow::evaluations), ra.evaluations);
+  EXPECT_EQ(ra.trace.total(&GenerationRow::repair_invocations),
+            ra.repair_invocations);
+
+  ASSERT_EQ(ra.trace.rows.size(), rb.trace.rows.size());
+  for (std::size_t g = 0; g < ra.trace.rows.size(); ++g) {
+    const GenerationRow& x = ra.trace.rows[g];
+    const GenerationRow& y = rb.trace.rows[g];
+    EXPECT_EQ(x.generation, y.generation);
+    EXPECT_EQ(x.evaluations, y.evaluations);
+    EXPECT_EQ(x.repair_invocations, y.repair_invocations);
+    EXPECT_EQ(x.front_size, y.front_size);
+    EXPECT_EQ(x.best_objectives, y.best_objectives);
+#if IAAS_TELEMETRY
+    EXPECT_EQ(x.full_rebuilds, y.full_rebuilds);
+    EXPECT_EQ(x.delta_moves, y.delta_moves);
+    EXPECT_EQ(x.repaired, y.repaired);
+    EXPECT_EQ(x.unrepairable, y.unrepairable);
+    EXPECT_EQ(x.tabu_moves_tried, y.tabu_moves_tried);
+    EXPECT_EQ(x.tabu_moves_accepted, y.tabu_moves_accepted);
+    // Every repair walk that saw violations resolved one way or the
+    // other; evaluations imply at least one rebuild or delta read-out.
+    EXPECT_LE(x.repaired + x.unrepairable, x.repair_invocations);
+    if (x.evaluations > 0) {
+      EXPECT_GT(x.full_rebuilds, 0u);
+    }
+#endif
+  }
+
+  // Tracing must not perturb the search itself.
+  EXPECT_EQ(ra.evaluations, rb.evaluations);
+  ASSERT_EQ(ra.population.size(), rb.population.size());
+  for (std::size_t i = 0; i < ra.population.size(); ++i) {
+    EXPECT_EQ(ra.population[i].genes, rb.population[i].genes);
+  }
+}
+
+TEST(NsgaBase, TraceOffByDefaultAndEmpty) {
+  const Instance inst = test::make_random_instance(5, 8, 16);
+  const AllocationProblem problem(inst);
+  Nsga2 engine(problem, quick_config());
+  const auto result = engine.run(7);
+  EXPECT_TRUE(result.trace.empty());
+}
+
 TEST(Nsga3, FusedRepairPathYieldsFeasibleFront) {
   // Same expectations as RepairModeYieldsFeasibleFront, but through the
   // fused repair-as-evaluation pipeline (StateRepairFn supplied).

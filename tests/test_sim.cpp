@@ -56,6 +56,116 @@ TEST(ReconfigurationPlan, SummaryMentionsCounts) {
   EXPECT_NE(s.find("0 migrations"), std::string::npos);
 }
 
+TEST(PoissonSample, SmallMeanMatchesMoments) {
+  Rng rng(7);
+  const double mean = 20.0;
+  const std::size_t n = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(poisson_sample(mean, rng));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double sample_mean = sum / static_cast<double>(n);
+  const double sample_var =
+      sum_sq / static_cast<double>(n) - sample_mean * sample_mean;
+  // Poisson: mean == variance == lambda.
+  EXPECT_NEAR(sample_mean, mean, 0.15);
+  EXPECT_NEAR(sample_var, mean, 1.5);
+}
+
+TEST(PoissonSample, LargeMeanNoUnderflow) {
+  // exp(-1500) underflows to 0; the raw Knuth loop would then only stop
+  // when its running product underflowed too, returning garbage (biased
+  // low by orders of magnitude).  The chunked sampler must stay on the
+  // Poisson moments.
+  Rng rng(11);
+  const double mean = 1500.0;
+  const std::size_t n = 2000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(poisson_sample(mean, rng));
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double sample_mean = sum / static_cast<double>(n);
+  const double sample_var =
+      sum_sq / static_cast<double>(n) - sample_mean * sample_mean;
+  EXPECT_NEAR(sample_mean, mean, mean * 0.03);
+  EXPECT_NEAR(sample_var, mean, mean * 0.15);
+}
+
+TEST(PoissonSample, EdgeCasesAndDeterminism) {
+  Rng rng(3);
+  EXPECT_EQ(poisson_sample(0.0, rng), 0u);
+  EXPECT_EQ(poisson_sample(-5.0, rng), 0u);
+  Rng a(42);
+  Rng b(42);
+  for (double mean : {0.5, 30.0, 600.0, 1200.0}) {
+    EXPECT_EQ(poisson_sample(mean, a), poisson_sample(mean, b));
+  }
+}
+
+// compact_requests: VM removal with constraint-group remapping (runs on
+// every departure/rejection window).
+TEST(CompactRequests, RemapsSurvivingGroupIndices) {
+  RequestSet requests;
+  for (int i = 0; i < 5; ++i) {
+    requests.vms.push_back(test::make_vm({1.0, 1.0, 1.0}));
+  }
+  requests.constraints = {{RelationKind::kSameServer, {1, 3, 4}},
+                          {RelationKind::kDifferentServers, {0, 2}}};
+  Placement placement(5);
+  for (std::uint32_t k = 0; k < 5; ++k) {
+    placement.assign(k, static_cast<std::int32_t>(k));
+  }
+  // Drop VMs 0 and 3: survivors 1,2,4 become 0,1,2.
+  compact_requests(requests, placement, {0, 1, 1, 0, 1});
+
+  ASSERT_EQ(requests.vms.size(), 3u);
+  ASSERT_EQ(requests.constraints.size(), 1u);
+  // {1,3,4} loses member 3 and remaps to the new indices of 1 and 4.
+  EXPECT_EQ(requests.constraints[0].kind, RelationKind::kSameServer);
+  EXPECT_EQ(requests.constraints[0].vms, (std::vector<std::uint32_t>{0, 2}));
+  // Surviving genes keep their server assignments, in survivor order.
+  ASSERT_EQ(placement.vm_count(), 3u);
+  EXPECT_EQ(placement.server_of(0), 1);
+  EXPECT_EQ(placement.server_of(1), 2);
+  EXPECT_EQ(placement.server_of(2), 4);
+}
+
+TEST(CompactRequests, GroupsBelowTwoMembersAreDropped) {
+  RequestSet requests;
+  for (int i = 0; i < 4; ++i) {
+    requests.vms.push_back(test::make_vm({1.0, 1.0, 1.0}));
+  }
+  requests.constraints = {{RelationKind::kDifferentServers, {0, 1}},
+                          {RelationKind::kSameDatacenter, {2, 3}}};
+  Placement placement(4);
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    placement.assign(k, 0);
+  }
+  // Drop VM 1: the {0,1} pair shrinks to one member and must vanish;
+  // {2,3} survives fully remapped.
+  compact_requests(requests, placement, {1, 0, 1, 1});
+  ASSERT_EQ(requests.constraints.size(), 1u);
+  EXPECT_EQ(requests.constraints[0].kind, RelationKind::kSameDatacenter);
+  EXPECT_EQ(requests.constraints[0].vms, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(CompactRequests, DropEverythingLeavesEmptySet) {
+  RequestSet requests;
+  requests.vms.push_back(test::make_vm({1.0, 1.0, 1.0}));
+  requests.constraints = {};
+  Placement placement(1);
+  placement.assign(0, 0);
+  compact_requests(requests, placement, {0});
+  EXPECT_TRUE(requests.vms.empty());
+  EXPECT_EQ(placement.vm_count(), 0u);
+}
+
 SimConfig small_sim() {
   SimConfig cfg;
   cfg.windows = 6;

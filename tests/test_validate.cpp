@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "tests/test_util.h"
 #include "workload/generator.h"
 
@@ -27,6 +29,47 @@ TEST(Validate, GeneratedScenariosAreClean) {
     EXPECT_TRUE(findings.empty())
         << "seed " << seed << ": " << findings.front();
   }
+}
+
+TEST(Validate, MaxLoadAtOneRejectedBeforeEq24Singularity) {
+  // First defense layer: a knee at 1.0 (the Eq. 24 division by 1 - L^M
+  // blows up there) never even reaches the objective model — the record
+  // fails range validation and Infrastructure refuses to build.
+  const Server bad = test::make_server(0, {10.0, 10.0, 10.0}, 10.0, 1.0,
+                                       1.0, /*max_load=*/1.0);
+  EXPECT_FALSE(bad.valid(3));
+
+  FabricConfig fc;
+  fc.datacenters = 1;
+  fc.leaves_per_dc = 1;
+  fc.servers_per_leaf = 1;
+  fc.spines_per_dc = 2;
+  fc.cores = 2;
+  EXPECT_DEATH({ Infrastructure infra(fc, {bad}); }, "fails validation");
+}
+
+TEST(Validate, NanMaxLoadFlagged) {
+  // NaN sails through Server::valid()'s range compares (both orderings
+  // are false), so the singularity screen must catch it explicitly.
+  FabricConfig fc;
+  fc.datacenters = 1;
+  fc.leaves_per_dc = 1;
+  fc.servers_per_leaf = 1;
+  fc.spines_per_dc = 2;
+  fc.cores = 2;
+  Server server = test::make_server(0, {10.0, 10.0, 10.0});
+  server.max_load[1] = std::nan("");
+  RequestSet requests;
+  requests.vms.push_back(test::make_vm({1.0, 1.0, 1.0}));
+  const Instance inst(Infrastructure(fc, {server}), std::move(requests));
+  const auto findings = validate_instance(inst);
+  bool flagged = false;
+  for (const std::string& f : findings) {
+    if (f.find("singularity") != std::string::npos) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
 }
 
 TEST(Validate, OversizedVmFlagged) {
