@@ -36,6 +36,10 @@ struct AllocationResult {
   double wall_seconds = 0.0;       // Fig. 7/8
   std::size_t evaluations = 0;     // EA objective evaluations (0 otherwise)
 
+  // True when a time budget (set_time_budget) truncated the search: the
+  // placement is the best answer found so far, not the full-budget one.
+  bool deadline_hit = false;
+
   // Per-generation decision trace (empty unless the algorithm is an EA
   // run with NsgaConfig::collect_trace set).
   telemetry::RunTrace trace;
@@ -58,6 +62,12 @@ class Allocator {
   // stochastic component; deterministic algorithms ignore it.
   virtual AllocationResult allocate(const Instance& instance,
                                     std::uint64_t seed) = 0;
+
+  // Soft per-call wall-clock budget (seconds; 0 = unlimited).  Anytime
+  // algorithms (the EA family) truncate their search and flag the result
+  // with `deadline_hit`; algorithms with no anytime behaviour ignore it.
+  // The simulator sets this from SimConfig::allocator_deadline_seconds.
+  virtual void set_time_budget(double /*seconds*/) {}
 
   // Audits + sanitizes a raw placement and fills the metric fields.
   // Public so composition helpers (and tests) can reuse the pipeline.

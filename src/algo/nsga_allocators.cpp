@@ -40,6 +40,7 @@ AllocationResult run_engine(const Instance& instance, std::uint64_t seed,
   AllocationResult result = Allocator::finalize(
       instance, algo_name, std::move(placement), timer.elapsed_seconds(),
       ea_result.evaluations, options.objectives);
+  result.deadline_hit = ea_result.hit_time_limit;
   if (!ea_result.trace.empty()) {
     result.trace = std::move(ea_result.trace);
     result.trace.label = algo_name;

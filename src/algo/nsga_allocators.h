@@ -34,6 +34,9 @@ class Nsga2Allocator : public Allocator {
   [[nodiscard]] std::string name() const override { return "NSGA-II"; }
   AllocationResult allocate(const Instance& instance,
                             std::uint64_t seed) override;
+  void set_time_budget(double seconds) override {
+    options_.nsga.time_limit_seconds = seconds;
+  }
 
  private:
   EaAllocatorOptions options_;
@@ -45,6 +48,9 @@ class Nsga3Allocator : public Allocator {
   [[nodiscard]] std::string name() const override { return "NSGA-III"; }
   AllocationResult allocate(const Instance& instance,
                             std::uint64_t seed) override;
+  void set_time_budget(double seconds) override {
+    options_.nsga.time_limit_seconds = seconds;
+  }
 
  private:
   EaAllocatorOptions options_;
@@ -56,6 +62,9 @@ class Nsga3CpAllocator : public Allocator {
   [[nodiscard]] std::string name() const override { return "NSGA-III+CP"; }
   AllocationResult allocate(const Instance& instance,
                             std::uint64_t seed) override;
+  void set_time_budget(double seconds) override {
+    options_.nsga.time_limit_seconds = seconds;
+  }
 
  private:
   EaAllocatorOptions options_;
@@ -67,6 +76,9 @@ class Nsga3TabuAllocator : public Allocator {
   [[nodiscard]] std::string name() const override { return "NSGA-III+Tabu"; }
   AllocationResult allocate(const Instance& instance,
                             std::uint64_t seed) override;
+  void set_time_budget(double seconds) override {
+    options_.nsga.time_limit_seconds = seconds;
+  }
 
  private:
   EaAllocatorOptions options_;

@@ -24,6 +24,16 @@ const char* counter_name(Counter c) {
       return "tabu_moves_tried";
     case Counter::kTabuMovesAccepted:
       return "tabu_moves_accepted";
+    case Counter::kSimFaultEvents:
+      return "sim_fault_events";
+    case Counter::kSimEvictions:
+      return "sim_evictions";
+    case Counter::kSimRetries:
+      return "sim_retries";
+    case Counter::kSimPermanentRejections:
+      return "sim_permanent_rejections";
+    case Counter::kSimDegradedWindows:
+      return "sim_degraded_windows";
     case Counter::kCount:
       break;
   }
@@ -44,6 +54,8 @@ const char* phase_name(Phase p) {
       return "selection";
     case Phase::kAllocate:
       return "allocate";
+    case Phase::kFallbackAllocate:
+      return "fallback_allocate";
     case Phase::kSimWindow:
       return "sim_window";
     case Phase::kCount:

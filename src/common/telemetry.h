@@ -45,6 +45,12 @@ enum class Counter : std::size_t {
   kUnrepairableIndividuals,  // left with violations after all passes
   kTabuMovesTried,           // candidate relocations examined
   kTabuMovesAccepted,        // relocations actually applied
+  // Simulator failure/degradation lifecycle (flushed once per window).
+  kSimFaultEvents,           // failure/repair/decommission events
+  kSimEvictions,             // running VMs forced off the platform
+  kSimRetries,               // queued VMs re-entering a later window
+  kSimPermanentRejections,   // retry budget exhausted, VM dropped
+  kSimDegradedWindows,       // windows served by the fallback chain
   kCount,
 };
 
@@ -85,8 +91,9 @@ enum class Phase : std::size_t {
   kRepair,
   kEvaluate,
   kSelection,
-  kAllocate,   // one Allocator::allocate call
-  kSimWindow,  // one simulator window
+  kAllocate,          // one Allocator::allocate call
+  kFallbackAllocate,  // greedy fallback after a deadline/allocator failure
+  kSimWindow,         // one simulator window
   kCount,
 };
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/expect.h"
+#include "common/stopwatch.h"
 #include "ea/archive.h"
 
 namespace iaas {
@@ -271,6 +272,7 @@ void NsgaBase::run_tasks(ThreadPool* pool, std::size_t count,
 NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
   Rng rng(seed);
   ThreadPool* pool = evaluation_pool();
+  Stopwatch budget_timer;
   Result result;
   const bool tracing = config_.collect_trace;
   result.trace.seed = seed;
@@ -341,6 +343,14 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
   }
 
   while (result.evaluations < config_.max_evaluations) {
+    // Anytime exit: over budget, surrender with the best front so far
+    // (the generation in flight always completes — partial generations
+    // would make the survivor set depend on wall time mid-selection).
+    if (config_.time_limit_seconds > 0.0 &&
+        budget_timer.elapsed_seconds() >= config_.time_limit_seconds) {
+      result.hit_time_limit = true;
+      break;
+    }
     const std::size_t pair_count = (config_.population_size + 1) / 2;
     telemetry::GenerationRow row;
     row.generation = result.generations + 1;

@@ -58,6 +58,10 @@ class NsgaBase {
     std::size_t evaluations = 0;
     std::size_t repair_invocations = 0;
     std::size_t generations = 0;
+    // True when config.time_limit_seconds stopped the run before
+    // max_evaluations: the front is the best found so far, not the
+    // full-budget answer (the simulator reports such windows degraded).
+    bool hit_time_limit = false;
     // Per-generation decision trace; empty unless config.collect_trace.
     // Counter columns are deterministic at any thread count (summed from
     // per-task blocks in task order); the seconds columns are not.

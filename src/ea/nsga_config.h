@@ -60,6 +60,15 @@ struct NsgaConfig {
   // 1 = strictly serial, otherwise a dedicated pool of that many threads.
   std::size_t threads = 1;
 
+  // Soft wall-clock budget for one run (seconds; 0 = unlimited).  Checked
+  // at generation boundaries: the engine finishes the generation in
+  // flight, then stops and reports the best front found so far
+  // (Result::hit_time_limit).  This is the anytime property the
+  // simulator's graceful-degradation chain relies on; enabling it makes
+  // the *generation count* timing-dependent, so determinism tests keep
+  // it at 0 (or force it so low that zero generations run).
+  double time_limit_seconds = 0.0;
+
   // Record a per-generation telemetry::RunTrace in the engine Result
   // (counters are deterministic at any thread count; the wall-time
   // columns are not).  Off by default: tracing adds a timer read per

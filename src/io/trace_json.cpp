@@ -1,12 +1,21 @@
 #include "io/trace_json.h"
 
 #include <fstream>
+#include <stdexcept>
 
 #include "common/expect.h"
 
 namespace iaas {
 
 namespace {
+
+[[noreturn]] void shape_error(const std::string& what) {
+  throw std::runtime_error("trace_json: " + what);
+}
+
+std::size_t as_size(const Json& j) {
+  return static_cast<std::size_t>(j.as_number());
+}
 
 Json row_to_json(const telemetry::GenerationRow& row) {
   // Mirrors RunTrace::columns() order exactly — check_trace and the
@@ -61,6 +70,201 @@ void write_trace_json(const telemetry::RunTrace& trace,
   out << trace_to_json(trace).dump(2) << '\n';
   out.flush();
   IAAS_EXPECT(out.good(), ("trace_json: write error on " + path).c_str());
+}
+
+telemetry::RunTrace trace_from_json(const Json& json) {
+  telemetry::RunTrace trace;
+  trace.label = json.at("label").as_string();
+  trace.seed = static_cast<std::uint64_t>(json.at("seed").as_number());
+  const auto& expected = telemetry::RunTrace::columns();
+  const Json& columns = json.at("columns");
+  if (columns.size() != expected.size()) {
+    shape_error("trace column count mismatch");
+  }
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (columns.at(i).as_string() != expected[i]) {
+      shape_error("unknown trace column " + columns.at(i).as_string());
+    }
+  }
+  const Json& rows = json.at("rows");
+  trace.rows.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const Json& row = rows.at(r);
+    if (row.size() != expected.size()) {
+      shape_error("trace row width mismatch");
+    }
+    telemetry::GenerationRow g;
+    g.generation = as_size(row.at(0));
+    g.evaluations = as_size(row.at(1));
+    g.full_rebuilds = as_size(row.at(2));
+    g.delta_moves = as_size(row.at(3));
+    g.repair_invocations = as_size(row.at(4));
+    g.repaired = as_size(row.at(5));
+    g.unrepairable = as_size(row.at(6));
+    g.tabu_moves_tried = as_size(row.at(7));
+    g.tabu_moves_accepted = as_size(row.at(8));
+    g.front_size = as_size(row.at(9));
+    g.best_objectives = {row.at(10).as_number(), row.at(11).as_number(),
+                         row.at(12).as_number()};
+    g.seconds_tournament = row.at(13).as_number();
+    g.seconds_variation = row.at(14).as_number();
+    g.seconds_repair = row.at(15).as_number();
+    g.seconds_evaluate = row.at(16).as_number();
+    g.seconds_selection = row.at(17).as_number();
+    trace.rows.push_back(g);
+  }
+  return trace;
+}
+
+namespace {
+
+Json fault_event_to_json(const FaultEvent& event) {
+  Json out = Json::object();
+  out["window"] = Json::number(static_cast<double>(event.window));
+  out["kind"] = Json::string(fault_event_kind_name(event.kind));
+  out["index"] = Json::number(static_cast<double>(event.index));
+  Json servers = Json::array();
+  for (std::uint32_t s : event.servers) {
+    servers.push_back(Json::number(static_cast<double>(s)));
+  }
+  out["servers"] = std::move(servers);
+  out["mttr_windows"] = Json::number(static_cast<double>(event.mttr_windows));
+  return out;
+}
+
+FaultEvent fault_event_from_json(const Json& json) {
+  FaultEvent event;
+  event.window = as_size(json.at("window"));
+  const std::string& kind = json.at("kind").as_string();
+  bool known = false;
+  for (FaultEventKind k :
+       {FaultEventKind::kServerFailure, FaultEventKind::kLeafFailure,
+        FaultEventKind::kRepair, FaultEventKind::kDecommission}) {
+    if (kind == fault_event_kind_name(k)) {
+      event.kind = k;
+      known = true;
+      break;
+    }
+  }
+  if (!known) {
+    shape_error("unknown fault event kind " + kind);
+  }
+  event.index = static_cast<std::uint32_t>(json.at("index").as_number());
+  const Json& servers = json.at("servers");
+  event.servers.reserve(servers.size());
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    event.servers.push_back(
+        static_cast<std::uint32_t>(servers.at(i).as_number()));
+  }
+  event.mttr_windows = as_size(json.at("mttr_windows"));
+  return event;
+}
+
+DegradeLevel degrade_level_from_name(const std::string& name) {
+  for (DegradeLevel level :
+       {DegradeLevel::kNone, DegradeLevel::kBestEffort,
+        DegradeLevel::kFallback}) {
+    if (name == degrade_level_name(level)) {
+      return level;
+    }
+  }
+  shape_error("unknown degrade level " + name);
+}
+
+}  // namespace
+
+Json sim_trace_to_json(const std::vector<WindowMetrics>& metrics) {
+  Json out = Json::object();
+  Json windows = Json::array();
+  for (const WindowMetrics& row : metrics) {
+    Json w = Json::object();
+    const auto num = [](std::size_t v) {
+      return Json::number(static_cast<double>(v));
+    };
+    w["window"] = num(row.window);
+    w["arrived"] = num(row.arrived);
+    w["departed"] = num(row.departed);
+    w["running"] = num(row.running);
+    w["rejected"] = num(row.rejected);
+    w["boots"] = num(row.boots);
+    w["migrations"] = num(row.migrations);
+    w["migration_cost"] = Json::number(row.migration_cost);
+    w["failed_servers"] = num(row.failed_servers);
+    w["repaired_servers"] = num(row.repaired_servers);
+    w["decommissioned_servers"] = num(row.decommissioned_servers);
+    w["displaced_vms"] = num(row.displaced_vms);
+    w["vms_on_down_servers"] = num(row.vms_on_down_servers);
+    Json events = Json::array();
+    for (const FaultEvent& event : row.fault_events) {
+      events.push_back(fault_event_to_json(event));
+    }
+    w["fault_events"] = std::move(events);
+    w["evicted"] = num(row.evicted);
+    w["retried"] = num(row.retried);
+    w["permanently_rejected"] = num(row.permanently_rejected);
+    w["retry_queue_depth"] = num(row.retry_queue_depth);
+    w["degrade"] = Json::string(degrade_level_name(row.degrade));
+    w["fallback_algorithm"] = Json::string(row.fallback_algorithm);
+    Json objectives = Json::array();
+    objectives.push_back(Json::number(row.objectives.usage_cost));
+    objectives.push_back(Json::number(row.objectives.downtime_cost));
+    objectives.push_back(Json::number(row.objectives.migration_cost));
+    w["objectives"] = std::move(objectives);
+    w["solve_seconds"] = Json::number(row.solve_seconds);
+    if (!row.allocator_trace.empty()) {
+      w["allocator_trace"] = trace_to_json(row.allocator_trace);
+    }
+    windows.push_back(std::move(w));
+  }
+  out["windows"] = std::move(windows);
+  return out;
+}
+
+std::vector<WindowMetrics> sim_trace_from_json(const Json& json) {
+  const Json& windows = json.at("windows");
+  std::vector<WindowMetrics> metrics;
+  metrics.reserve(windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const Json& w = windows.at(i);
+    WindowMetrics row;
+    row.window = as_size(w.at("window"));
+    row.arrived = as_size(w.at("arrived"));
+    row.departed = as_size(w.at("departed"));
+    row.running = as_size(w.at("running"));
+    row.rejected = as_size(w.at("rejected"));
+    row.boots = as_size(w.at("boots"));
+    row.migrations = as_size(w.at("migrations"));
+    row.migration_cost = w.at("migration_cost").as_number();
+    row.failed_servers = as_size(w.at("failed_servers"));
+    row.repaired_servers = as_size(w.at("repaired_servers"));
+    row.decommissioned_servers = as_size(w.at("decommissioned_servers"));
+    row.displaced_vms = as_size(w.at("displaced_vms"));
+    row.vms_on_down_servers = as_size(w.at("vms_on_down_servers"));
+    const Json& events = w.at("fault_events");
+    row.fault_events.reserve(events.size());
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      row.fault_events.push_back(fault_event_from_json(events.at(e)));
+    }
+    row.evicted = as_size(w.at("evicted"));
+    row.retried = as_size(w.at("retried"));
+    row.permanently_rejected = as_size(w.at("permanently_rejected"));
+    row.retry_queue_depth = as_size(w.at("retry_queue_depth"));
+    row.degrade = degrade_level_from_name(w.at("degrade").as_string());
+    row.fallback_algorithm = w.at("fallback_algorithm").as_string();
+    const Json& objectives = w.at("objectives");
+    if (objectives.size() != 3) {
+      shape_error("objective vector must have three terms");
+    }
+    row.objectives.usage_cost = objectives.at(0).as_number();
+    row.objectives.downtime_cost = objectives.at(1).as_number();
+    row.objectives.migration_cost = objectives.at(2).as_number();
+    row.solve_seconds = w.at("solve_seconds").as_number();
+    if (w.contains("allocator_trace")) {
+      row.allocator_trace = trace_from_json(w.at("allocator_trace"));
+    }
+    metrics.push_back(std::move(row));
+  }
+  return metrics;
 }
 
 Json registry_to_json(const telemetry::Registry& registry) {

@@ -5,9 +5,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/telemetry.h"
 #include "io/json.h"
+#include "sim/simulator.h"
 
 namespace iaas {
 
@@ -20,6 +22,20 @@ Json trace_to_json(const telemetry::RunTrace& trace);
 // unopenable path or a failed write, mirroring common/csv rules.
 void write_trace_json(const telemetry::RunTrace& trace,
                       const std::string& path);
+
+// Inverse of trace_to_json: rebuild a RunTrace from its JSON form.
+// Shape errors (missing keys, short rows, unknown columns) throw
+// std::runtime_error.  Seeds round-trip exactly up to 2^53 (JSON
+// numbers are doubles).
+telemetry::RunTrace trace_from_json(const Json& json);
+
+// One simulator horizon as {"windows": [...]}: every WindowMetrics
+// column including fault events, the retry-queue counters, the degrade
+// level (by name) and the nested allocator trace.  sim_trace_from_json
+// is the exact inverse — emit -> parse -> re-emit is byte-identical,
+// which is how archived runs are validated.
+Json sim_trace_to_json(const std::vector<WindowMetrics>& metrics);
+std::vector<WindowMetrics> sim_trace_from_json(const Json& json);
 
 // Snapshot of telemetry::Registry::global():
 // {"counters": {name: n, ...}, "phase_seconds": {name: s, ...}}.

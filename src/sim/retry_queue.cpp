@@ -1,0 +1,50 @@
+#include "sim/retry_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/expect.h"
+
+namespace iaas {
+
+std::size_t RetryQueue::backoff_windows(std::size_t attempts) const {
+  IAAS_EXPECT(attempts >= 1, "backoff is defined after a failed attempt");
+  const std::size_t cap = std::max<std::size_t>(
+      policy_.backoff_cap_windows, std::size_t{1});
+  std::size_t wait = std::max<std::size_t>(
+      policy_.backoff_base_windows, std::size_t{1});
+  // Exponential, saturating well before a shift could overflow.
+  for (std::size_t i = 1; i < attempts && wait < cap; ++i) {
+    wait *= 2;
+  }
+  return std::min(wait, cap);
+}
+
+bool RetryQueue::offer(VmRequest vm, std::size_t attempts,
+                       std::size_t window) {
+  IAAS_EXPECT(attempts >= 1, "a queued VM has failed at least once");
+  if (attempts >= policy_.max_attempts) {
+    return false;  // budget spent (or retries disabled): permanent
+  }
+  queue_.push_back(
+      {std::move(vm), attempts, window + backoff_windows(attempts)});
+  return true;
+}
+
+std::vector<RetryEntry> RetryQueue::pop_due(std::size_t window) {
+  std::vector<RetryEntry> due;
+  // Stable partition keeps FIFO order among both the popped entries and
+  // the survivors.
+  std::deque<RetryEntry> keep;
+  for (RetryEntry& entry : queue_) {
+    if (entry.ready_window <= window) {
+      due.push_back(std::move(entry));
+    } else {
+      keep.push_back(std::move(entry));
+    }
+  }
+  queue_ = std::move(keep);
+  return due;
+}
+
+}  // namespace iaas

@@ -1,12 +1,13 @@
 #include "sim/simulator.h"
 
 #include <cmath>
+#include <cstring>
+#include <exception>
 #include <utility>
 
+#include "algo/heuristics.h"
 #include "common/expect.h"
-#include "common/rng.h"
 #include "common/stopwatch.h"
-#include "common/telemetry.h"
 
 namespace iaas {
 namespace {
@@ -22,6 +23,46 @@ std::size_t poisson_knuth(double mean, Rng& rng) {
     p *= rng.next_double();
   } while (p > limit);
   return k - 1;
+}
+
+// Drop the entries of `v` whose keep flag is 0, preserving order — the
+// companion of compact_requests for per-VM side arrays.
+template <typename T>
+void compact_parallel(std::vector<T>& v, const std::vector<char>& keep) {
+  std::size_t out = 0;
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    if (keep[k] != 0) {
+      v[out++] = std::move(v[k]);
+    }
+  }
+  v.resize(out);
+}
+
+// --- deterministic fingerprint (FNV-1a, order-sensitive) ---
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_f64(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  fnv_u64(h, bits);
+}
+
+void fnv_str(std::uint64_t& h, const std::string& s) {
+  fnv_u64(h, s.size());
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
 }
 
 }  // namespace
@@ -76,10 +117,109 @@ void compact_requests(RequestSet& requests, Placement& placement,
   placement = Placement(std::move(genes));
 }
 
+std::size_t window_arrivals(const SimConfig& config, std::size_t window,
+                            Rng& rng) {
+  if (!config.arrival_schedule.empty()) {
+    return config.arrival_schedule[window % config.arrival_schedule.size()];
+  }
+  return poisson_sample(config.arrivals_per_window_mean, rng);
+}
+
+const char* degrade_level_name(DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::kNone:
+      return "none";
+    case DegradeLevel::kBestEffort:
+      return "best_effort";
+    case DegradeLevel::kFallback:
+      return "fallback";
+  }
+  return "unknown";
+}
+
+SimSummary summarize(const std::vector<WindowMetrics>& metrics) {
+  SimSummary s;
+  for (const WindowMetrics& row : metrics) {
+    s.fault_events += row.fault_events.size();
+    s.evicted += row.evicted;
+    s.retried += row.retried;
+    s.permanently_rejected += row.permanently_rejected;
+    s.degraded_windows += row.degrade != DegradeLevel::kNone ? 1 : 0;
+    s.displaced_vms += row.displaced_vms;
+    s.migration_cost += row.migration_cost;
+    s.downtime_cost += row.objectives.downtime_cost;
+  }
+  return s;
+}
+
+std::uint64_t deterministic_fingerprint(
+    const std::vector<WindowMetrics>& metrics) {
+  std::uint64_t h = kFnvOffset;
+  fnv_u64(h, metrics.size());
+  for (const WindowMetrics& row : metrics) {
+    fnv_u64(h, row.window);
+    fnv_u64(h, row.arrived);
+    fnv_u64(h, row.departed);
+    fnv_u64(h, row.running);
+    fnv_u64(h, row.rejected);
+    fnv_u64(h, row.boots);
+    fnv_u64(h, row.migrations);
+    fnv_f64(h, row.migration_cost);
+    fnv_u64(h, row.failed_servers);
+    fnv_u64(h, row.repaired_servers);
+    fnv_u64(h, row.decommissioned_servers);
+    fnv_u64(h, row.displaced_vms);
+    fnv_u64(h, row.vms_on_down_servers);
+    for (const FaultEvent& e : row.fault_events) {
+      fnv_u64(h, e.window);
+      fnv_u64(h, static_cast<std::uint64_t>(e.kind));
+      fnv_u64(h, e.index);
+      fnv_u64(h, e.servers.size());
+      for (std::uint32_t s : e.servers) {
+        fnv_u64(h, s);
+      }
+      fnv_u64(h, e.mttr_windows);
+    }
+    fnv_u64(h, row.evicted);
+    fnv_u64(h, row.retried);
+    fnv_u64(h, row.permanently_rejected);
+    fnv_u64(h, row.retry_queue_depth);
+    fnv_u64(h, static_cast<std::uint64_t>(row.degrade));
+    fnv_str(h, row.fallback_algorithm);
+    fnv_f64(h, row.objectives.usage_cost);
+    fnv_f64(h, row.objectives.downtime_cost);
+    fnv_f64(h, row.objectives.migration_cost);
+    // Trace: only the columns every build mode and thread count agrees
+    // on.  The per-generation counter columns (delta moves, repairs,
+    // tabu tallies) are zero in IAAS_TELEMETRY=OFF builds and the
+    // seconds columns are wall-clock — both excluded by design.
+    fnv_u64(h, row.allocator_trace.rows.size());
+    for (const telemetry::GenerationRow& g : row.allocator_trace.rows) {
+      fnv_u64(h, g.generation);
+      fnv_u64(h, g.evaluations);
+      fnv_u64(h, g.front_size);
+      fnv_f64(h, g.best_objectives[0]);
+      fnv_f64(h, g.best_objectives[1]);
+      fnv_f64(h, g.best_objectives[2]);
+    }
+  }
+  return h;
+}
+
 CloudSimulator::CloudSimulator(SimConfig config,
-                               std::unique_ptr<Allocator> allocator)
-    : config_(config), allocator_(std::move(allocator)) {
+                               std::unique_ptr<Allocator> allocator,
+                               std::unique_ptr<Allocator> fallback)
+    : config_(std::move(config)),
+      allocator_(std::move(allocator)),
+      fallback_(std::move(fallback)) {
   IAAS_EXPECT(allocator_ != nullptr, "simulator needs an allocator");
+}
+
+Allocator& CloudSimulator::fallback_allocator() {
+  if (fallback_ == nullptr) {
+    fallback_ = std::make_unique<FirstFitDecreasingAllocator>();
+  }
+  return *fallback_;
 }
 
 std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
@@ -87,15 +227,52 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
   ScenarioGenerator generator(config_.scenario);
   const Infrastructure infra = generator.generate_infrastructure(seed);
 
+  // Legacy transient-failure shorthand: fold the flat per-server rate
+  // into the lifecycle model (MTTR defaults keep it a one-window outage).
+  FaultConfig fault_config = config_.faults;
+  if (fault_config.server_failure_probability == 0.0 &&
+      config_.server_failure_probability > 0.0) {
+    fault_config.server_failure_probability =
+        config_.server_failure_probability;
+  }
+  // The fault model owns an independent stream so enabling/disabling
+  // telemetry or reordering allocator draws can never shift its history.
+  FaultModel fault_model(fault_config, infra.fabric(), rng.next_u64());
+  RetryQueue retries(config_.retry);
+
+  if (config_.allocator_deadline_seconds > 0.0) {
+    allocator_->set_time_budget(config_.allocator_deadline_seconds);
+  }
+
   RequestSet live;        // every VM that should be running
   Placement live_placement(0);
+  // Failed placement attempts consumed by each live VM (index-parallel
+  // with live.vms; fresh arrivals start at 0, retried VMs carry theirs).
+  std::vector<std::size_t> attempts;
 
   std::vector<WindowMetrics> metrics;
   metrics.reserve(config_.windows);
 
   for (std::size_t w = 0; w < config_.windows; ++w) {
+    telemetry::CounterBlock window_counters;
+    telemetry::ScopedSink sink(window_counters);
+    telemetry::ScopedPhaseTimer window_phase(telemetry::Phase::kSimWindow);
+
     WindowMetrics row;
     row.window = w;
+
+    // Fault lifecycle first — repairs and outages tick on every window,
+    // including empty ones (an MTTR clock does not pause for idle load).
+    row.fault_events = fault_model.advance(w);
+    for (const FaultEvent& e : row.fault_events) {
+      if (e.kind == FaultEventKind::kRepair) {
+        ++row.repaired_servers;
+      }
+    }
+    telemetry::count(telemetry::Counter::kSimFaultEvents,
+                     row.fault_events.size());
+    row.failed_servers = fault_model.down_count();
+    row.decommissioned_servers = fault_model.decommissioned_count();
 
     // Departures among currently running VMs.
     if (!live.vms.empty() && config_.departure_probability > 0.0) {
@@ -108,15 +285,25 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
       }
       if (row.departed > 0) {
         compact_requests(live, live_placement, keep);
+        compact_parallel(attempts, keep);
       }
     }
 
+    // Queued rejects whose backoff elapsed re-enter ahead of the fresh
+    // batch (FIFO fairness: the oldest failure gets the first slot).
+    // They re-enter standalone — their relationship groups dissolved
+    // when they were compacted out.
+    for (RetryEntry& entry : retries.pop_due(w)) {
+      live.vms.push_back(std::move(entry.vm));
+      live_placement.genes().push_back(Placement::kRejected);
+      attempts.push_back(entry.attempts);
+      ++row.retried;
+    }
+    telemetry::count(telemetry::Counter::kSimRetries, row.retried);
+
     // Arrivals: a fresh batch with its own relationship groups, counted
     // either by the explicit schedule (trace-driven) or Poisson.
-    const std::size_t arrivals =
-        config_.arrival_schedule.empty()
-            ? poisson_sample(config_.arrivals_per_window_mean, rng)
-            : config_.arrival_schedule[w % config_.arrival_schedule.size()];
+    const std::size_t arrivals = window_arrivals(config_, w, rng);
     row.arrived = arrivals;
     if (arrivals > 0) {
       RequestSet batch = generator.generate_requests(
@@ -125,6 +312,7 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
       for (VmRequest& vm : batch.vms) {
         live.vms.push_back(std::move(vm));
         live_placement.genes().push_back(Placement::kRejected);
+        attempts.push_back(0);
       }
       for (PlacementConstraint& c : batch.constraints) {
         for (std::uint32_t& k : c.vms) {
@@ -135,35 +323,34 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
     }
 
     if (live.vms.empty()) {
+      row.retry_queue_depth = retries.size();
       metrics.push_back(row);
+      if (!window_counters.empty()) {
+        telemetry::Registry::global().flush_counters(window_counters);
+      }
       continue;
     }
 
-    // Transient server failures: the failed hosts keep their identity but
-    // lose their capacity for this window, so the allocator is forced to
-    // evacuate them (and pays Eq. 26 for every displaced VM it saves).
-    std::vector<char> failed(infra.server_count(), 0);
+    // Down servers keep their identity but lose their capacity for this
+    // window, so the allocator is forced to evacuate them (and pays
+    // Eq. 26 for every displaced VM it saves).
     Infrastructure window_infra = infra;
-    if (config_.server_failure_probability > 0.0) {
+    if (fault_model.down_count() > 0) {
       std::vector<Server> servers = infra.servers();
       for (std::size_t j = 0; j < servers.size(); ++j) {
-        if (rng.bernoulli(config_.server_failure_probability)) {
-          failed[j] = 1;
-          ++row.failed_servers;
+        if (fault_model.is_down(static_cast<std::uint32_t>(j))) {
           for (double& f : servers[j].factor) {
             f = 1e-9;  // effective capacity ~ 0: nothing can stay
           }
         }
       }
-      if (row.failed_servers > 0) {
-        window_infra =
-            Infrastructure(infra.fabric().config(), std::move(servers));
-        for (std::size_t k = 0; k < live.vms.size(); ++k) {
-          if (live_placement.is_assigned(k) &&
-              failed[static_cast<std::size_t>(
-                  live_placement.server_of(k))] != 0) {
-            ++row.displaced_vms;
-          }
+      window_infra =
+          Infrastructure(infra.fabric().config(), std::move(servers));
+      for (std::size_t k = 0; k < live.vms.size(); ++k) {
+        if (live_placement.is_assigned(k) &&
+            fault_model.is_down(static_cast<std::uint32_t>(
+                live_placement.server_of(k)))) {
+          ++row.displaced_vms;
         }
       }
     }
@@ -172,11 +359,42 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
     Instance instance(std::move(window_infra), live);
     instance.previous = live_placement;
 
+    // Drawn before the attempt so primary and fallback see the same
+    // seed whether or not the primary completes.
+    const std::uint64_t window_seed = rng.next_u64();
+
     Stopwatch timer;
     AllocationResult result;
-    {
+    bool primary_failed = false;
+    try {
       telemetry::ScopedPhaseTimer phase(telemetry::Phase::kAllocate);
-      result = allocator_->allocate(instance, rng.next_u64());
+      result = allocator_->allocate(instance, window_seed);
+    } catch (const std::exception&) {
+      // The primary blew up mid-window (the paper's algorithms share an
+      // engine, but a pluggable Allocator is arbitrary code).  The
+      // window is served by the greedy fallback instead of stalling the
+      // horizon.  (IAAS_EXPECT aborts the process by design and is not
+      // recoverable here.)
+      primary_failed = true;
+    }
+    const double primary_seconds = timer.elapsed_seconds();
+    const bool hard_overrun =
+        !primary_failed && config_.allocator_deadline_seconds > 0.0 &&
+        config_.deadline_hard_factor > 0.0 &&
+        primary_seconds > config_.allocator_deadline_seconds *
+                              config_.deadline_hard_factor;
+    if (primary_failed || hard_overrun) {
+      telemetry::ScopedPhaseTimer phase(telemetry::Phase::kFallbackAllocate);
+      result = fallback_allocator().allocate(instance, window_seed);
+      row.degrade = DegradeLevel::kFallback;
+      row.fallback_algorithm = fallback_allocator().name();
+    } else if (result.deadline_hit) {
+      // Anytime truncation: the EA stopped at a generation boundary and
+      // handed over its best front so far.
+      row.degrade = DegradeLevel::kBestEffort;
+    }
+    if (row.degrade != DegradeLevel::kNone) {
+      telemetry::count(telemetry::Counter::kSimDegradedWindows);
     }
     row.solve_seconds = timer.elapsed_seconds();
     // Per-window decision trace of the allocator (empty unless the
@@ -194,21 +412,46 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
     row.rejected = result.rejected;
     row.objectives = result.objectives;
 
-    // Apply: rejected VMs (new or evicted) leave the platform.
+    // Apply: rejected VMs leave the platform — into the retry queue
+    // while their attempt budget lasts, permanently otherwise.  A VM
+    // that was running last window counts as evicted.
     live_placement = result.placement;
     std::vector<char> keep(live.vms.size(), 1);
     bool any_drop = false;
     for (std::size_t k = 0; k < live.vms.size(); ++k) {
-      if (!live_placement.is_assigned(k)) {
-        keep[k] = 0;
-        any_drop = true;
+      if (live_placement.is_assigned(k)) {
+        continue;
+      }
+      keep[k] = 0;
+      any_drop = true;
+      if (instance.previous.is_assigned(k)) {
+        ++row.evicted;
+      }
+      if (!retries.offer(live.vms[k], attempts[k] + 1, w)) {
+        ++row.permanently_rejected;
       }
     }
+    telemetry::count(telemetry::Counter::kSimEvictions, row.evicted);
+    telemetry::count(telemetry::Counter::kSimPermanentRejections,
+                     row.permanently_rejected);
     if (any_drop) {
       compact_requests(live, live_placement, keep);
+      compact_parallel(attempts, keep);
     }
     row.running = live.vms.size();
+    row.retry_queue_depth = retries.size();
+    // The degradation contract: whatever served the window, nothing may
+    // be left hosted on a dead server.
+    for (std::size_t k = 0; k < live.vms.size(); ++k) {
+      if (fault_model.is_down(
+              static_cast<std::uint32_t>(live_placement.server_of(k)))) {
+        ++row.vms_on_down_servers;
+      }
+    }
     metrics.push_back(row);
+    if (!window_counters.empty()) {
+      telemetry::Registry::global().flush_counters(window_counters);
+    }
   }
   return metrics;
 }

@@ -3,22 +3,33 @@
 // all requests within a cyclic time window during the execution of the
 // allocation optimization process.").
 //
-// Each window: new requests arrive (batch drawn from the scenario
-// generator), some running VMs depart, and the allocator solves one
-// Instance containing every VM that should be running — with the current
-// placement as `previous`, so migrations are priced by Eq. 26.  The
-// sanitized result is applied as a reconfiguration plan.
+// Each window: failed servers repair or fail per the FaultModel's
+// lifecycle, some running VMs depart, queued rejects whose backoff
+// elapsed re-enter, a fresh arrival batch lands, and the allocator solves
+// one Instance containing every VM that should be running — with the
+// current placement as `previous`, so migrations are priced by Eq. 26.
+// The sanitized result is applied as a reconfiguration plan; VMs it could
+// not place go to the bounded retry queue instead of vanishing.
+//
+// Graceful degradation: when the allocator exceeds its per-window budget
+// the window is served anyway — first by the EA's best-front-so-far
+// (anytime truncation, NsgaConfig::time_limit_seconds), and if the
+// allocator fails outright (throws) or blows the hard deadline, by a
+// greedy first-fit pass — rather than stalling the horizon.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "algo/allocator.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
 #include "model/instance.h"
+#include "sim/fault_model.h"
 #include "sim/reconfiguration_plan.h"
+#include "sim/retry_queue.h"
 #include "workload/generator.h"
 
 namespace iaas {
@@ -41,17 +52,48 @@ struct SimConfig {
   std::size_t windows = 10;
   double arrivals_per_window_mean = 20.0;  // Poisson arrivals
   double departure_probability = 0.10;     // per running VM per window
-  // Platform failures (the paper's future-work "platform failures"
-  // events): each window, each server suffers a transient outage with
-  // this probability — its capacity drops to ~zero for the window, so
-  // the allocator must re-place everything it hosted.
+  // Legacy single-window transient failures: shorthand for
+  // faults.server_failure_probability with MTTR 1.  Ignored when the
+  // FaultConfig sets its own server rate.
   double server_failure_probability = 0.0;
+  // Platform failures with a lifecycle: correlated rack outages, MTTR
+  // measured in windows, permanent decommissions, scripted scenarios.
+  FaultConfig faults;
+  // Bounded retry queue for rejected/evicted VMs (max_attempts 0 keeps
+  // the legacy drop-on-reject behaviour).
+  RetryPolicy retry;
+  // Per-window allocator budget (seconds; 0 = unlimited).  Passed to the
+  // allocator via set_time_budget so anytime algorithms self-truncate;
+  // such windows are reported degraded (kBestEffort).  NOTE: enabling it
+  // makes window outcomes wall-clock-dependent — determinism tests keep
+  // it 0 or force it below any real solve time.
+  double allocator_deadline_seconds = 0.0;
+  // Hard ceiling as a multiple of the deadline (0 = never): when one
+  // allocate call exceeds deadline * hard factor, its (stale) result is
+  // discarded and the greedy fallback serves the window (kFallback).
+  double deadline_hard_factor = 0.0;
   // Explicit per-window arrival counts (e.g. from an ArrivalTrace's
   // diurnal/burst model).  When non-empty it overrides the Poisson
-  // arrivals; windows beyond its length wrap around.
+  // arrivals; windows beyond its length wrap around (periodic schedule).
   std::vector<std::size_t> arrival_schedule;
   ScenarioConfig scenario;                 // infrastructure + request shape
 };
+
+// The single arrival rule shared by every window: a non-empty schedule is
+// periodic (window modulo its length); an empty schedule falls back to
+// Poisson(arrivals_per_window_mean) — which consumes rng draws, so the
+// two modes intentionally produce different downstream streams.
+std::size_t window_arrivals(const SimConfig& config, std::size_t window,
+                            Rng& rng);
+
+// How a window's allocation was obtained.
+enum class DegradeLevel : std::uint8_t {
+  kNone = 0,        // primary allocator, within budget
+  kBestEffort = 1,  // primary truncated by its budget: best front so far
+  kFallback = 2,    // greedy fallback (allocator threw / hard deadline)
+};
+
+const char* degrade_level_name(DegradeLevel level);
 
 struct WindowMetrics {
   std::size_t window = 0;
@@ -62,8 +104,21 @@ struct WindowMetrics {
   std::size_t boots = 0;
   std::size_t migrations = 0;
   double migration_cost = 0.0;
-  std::size_t failed_servers = 0;  // transient outages this window
-  std::size_t displaced_vms = 0;   // VMs forced off failed servers
+  // --- failure lifecycle ---
+  std::size_t failed_servers = 0;     // servers unavailable this window
+  std::size_t repaired_servers = 0;   // repair events this window
+  std::size_t decommissioned_servers = 0;  // cumulative permanent losses
+  std::size_t displaced_vms = 0;      // VMs hosted on servers that failed
+  std::size_t vms_on_down_servers = 0;  // after the plan (invariant: 0)
+  std::vector<FaultEvent> fault_events;
+  // --- retry queue ---
+  std::size_t evicted = 0;   // previously running VMs rejected this window
+  std::size_t retried = 0;   // queued VMs re-entering this window
+  std::size_t permanently_rejected = 0;  // retry budget exhausted
+  std::size_t retry_queue_depth = 0;     // after the window
+  // --- graceful degradation ---
+  DegradeLevel degrade = DegradeLevel::kNone;
+  std::string fallback_algorithm;  // set when degrade == kFallback
   ObjectiveVector objectives;  // of the applied placement
   double solve_seconds = 0.0;
   // Per-window decision trace of the allocator's search (empty for
@@ -71,9 +126,38 @@ struct WindowMetrics {
   telemetry::RunTrace allocator_trace;
 };
 
+// Horizon-level roll-up of the failure/degradation columns.
+struct SimSummary {
+  std::size_t fault_events = 0;
+  std::size_t evicted = 0;
+  std::size_t retried = 0;
+  std::size_t permanently_rejected = 0;
+  std::size_t degraded_windows = 0;
+  std::size_t displaced_vms = 0;
+  double migration_cost = 0.0;
+  double downtime_cost = 0.0;
+};
+
+SimSummary summarize(const std::vector<WindowMetrics>& metrics);
+
+// Order-sensitive FNV-1a digest of every *deterministic* field of the
+// sequence: all counts, objective/migration-cost bit patterns, fault
+// events, degrade levels, and the allocator trace's deterministic
+// columns (generation, evaluations, front size, best objectives).  Wall
+// times (solve_seconds, the trace's seconds columns) and the trace's
+// telemetry-counter columns (zero in IAAS_TELEMETRY=OFF builds) are
+// excluded, so the digest must match across thread counts AND across
+// telemetry build modes — the simulator determinism contract.
+std::uint64_t deterministic_fingerprint(
+    const std::vector<WindowMetrics>& metrics);
+
 class CloudSimulator {
  public:
-  CloudSimulator(SimConfig config, std::unique_ptr<Allocator> allocator);
+  // `fallback` serves windows the primary allocator loses to its hard
+  // deadline or to an exception; null installs greedy first-fit
+  // (algo/heuristics) lazily on first use.
+  CloudSimulator(SimConfig config, std::unique_ptr<Allocator> allocator,
+                 std::unique_ptr<Allocator> fallback = nullptr);
 
   // Run the full horizon; one metrics row per window.
   std::vector<WindowMetrics> run(std::uint64_t seed);
@@ -81,8 +165,11 @@ class CloudSimulator {
   [[nodiscard]] const SimConfig& config() const { return config_; }
 
  private:
+  Allocator& fallback_allocator();
+
   SimConfig config_;
   std::unique_ptr<Allocator> allocator_;
+  std::unique_ptr<Allocator> fallback_;
 };
 
 }  // namespace iaas

@@ -74,6 +74,18 @@ std::vector<std::uint32_t> Fabric::servers_on_leaf(std::uint32_t datacenter,
   return out;
 }
 
+std::uint32_t Fabric::global_leaf_of_server(std::uint32_t server) const {
+  return datacenter_of_server(server) * config_.leaves_per_dc +
+         leaf_of_server(server);
+}
+
+std::vector<std::uint32_t> Fabric::servers_on_global_leaf(
+    std::uint32_t global_leaf) const {
+  IAAS_EXPECT(global_leaf < leaf_count(), "global leaf out of range");
+  return servers_on_leaf(global_leaf / config_.leaves_per_dc,
+                         global_leaf % config_.leaves_per_dc);
+}
+
 std::uint32_t Fabric::hop_distance(std::uint32_t server_a,
                                    std::uint32_t server_b) const {
   if (server_a == server_b) {

@@ -63,6 +63,18 @@ class Fabric {
   [[nodiscard]] std::vector<std::uint32_t> servers_on_leaf(
       std::uint32_t datacenter, std::uint32_t leaf) const;
 
+  // Leaves enumerated globally (datacenter-major, matching the global
+  // server order), so correlated failure domains can be indexed with one
+  // integer: global leaf g hosts servers [g*servers_per_leaf,
+  // (g+1)*servers_per_leaf).
+  [[nodiscard]] std::uint32_t leaf_count() const {
+    return config_.datacenters * config_.leaves_per_dc;
+  }
+  [[nodiscard]] std::uint32_t global_leaf_of_server(
+      std::uint32_t server) const;
+  [[nodiscard]] std::vector<std::uint32_t> servers_on_global_leaf(
+      std::uint32_t global_leaf) const;
+
   // Network hop count between two servers: 0 same server, 2 same leaf,
   // 4 same DC (leaf-spine-leaf), 6 across DCs (via core).
   [[nodiscard]] std::uint32_t hop_distance(std::uint32_t server_a,

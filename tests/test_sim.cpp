@@ -1,8 +1,15 @@
-// Reconfiguration plans and the cyclic time-window simulator.
+// Reconfiguration plans and the cyclic time-window simulator, including
+// the fault-injection / graceful-degradation battery: determinism across
+// thread counts, rack-outage recovery, deadline degradation, and the
+// retry-queue conservation laws.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "algo/heuristics.h"
 #include "algo/nsga_allocators.h"
 #include "algo/round_robin.h"
+#include "common/telemetry.h"
 #include "sim/reconfiguration_plan.h"
 #include "sim/simulator.h"
 #include "tests/test_util.h"
@@ -316,6 +323,375 @@ TEST(CloudSimulator, DeparturesShrinkPlatform) {
   }
   EXPECT_GT(total_departed, 0u);
 }
+
+// --- arrival schedule wrap-around (the single shared arrival rule) ---
+
+TEST(WindowArrivals, ScheduleWrapAndPoissonFallbackTable) {
+  struct Case {
+    std::vector<std::size_t> schedule;
+    std::size_t window;
+    std::size_t expected;  // ignored for the Poisson rows
+    bool poisson;
+  };
+  const Case cases[] = {
+      {{5, 7, 9}, 0, 5, false},
+      {{5, 7, 9}, 2, 9, false},
+      {{5, 7, 9}, 3, 5, false},    // wraps: window % schedule length
+      {{5, 7, 9}, 7, 7, false},    // 7 % 3 == 1
+      {{5, 7, 9}, 3002, 9, false}, // far beyond the schedule
+      {{4}, 9999, 4, false},       // single-entry schedule is constant
+      {{}, 0, 0, true},            // empty schedule: Poisson fallback
+      {{}, 17, 0, true},
+  };
+  for (const Case& c : cases) {
+    SimConfig cfg;
+    cfg.arrival_schedule = c.schedule;
+    cfg.arrivals_per_window_mean = 6.0;
+    Rng rng(21);
+    const std::size_t got = window_arrivals(cfg, c.window, rng);
+    if (c.poisson) {
+      // The fallback must consume the rng and match a fresh Poisson draw.
+      Rng twin(21);
+      EXPECT_EQ(got, poisson_sample(6.0, twin)) << "window " << c.window;
+    } else {
+      EXPECT_EQ(got, c.expected) << "window " << c.window;
+    }
+  }
+  // Zero-mean Poisson boundary: no draw, no arrivals, for any window.
+  SimConfig cfg;
+  cfg.arrivals_per_window_mean = 0.0;
+  Rng rng(3);
+  EXPECT_EQ(window_arrivals(cfg, 0, rng), 0u);
+  EXPECT_EQ(window_arrivals(cfg, 1000, rng), 0u);
+}
+
+// --- compact_requests property test (randomised) ---
+
+TEST(CompactRequests, RandomisedInvariantsHold) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n = 1 + rng.uniform_index(12);
+    RequestSet requests;
+    Placement placement(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      VmRequest vm = test::make_vm({1.0, 1.0, 1.0});
+      vm.migration_cost = static_cast<double>(k);  // identity tag
+      requests.vms.push_back(vm);
+      if (rng.bernoulli(0.7)) {
+        placement.assign(k, static_cast<std::int32_t>(rng.uniform_index(4)));
+      }
+    }
+    // Random overlapping groups.
+    const std::size_t groups = rng.uniform_index(4);
+    for (std::size_t c = 0; c < groups; ++c) {
+      std::vector<std::uint32_t> members;
+      for (std::uint32_t k = 0; k < n; ++k) {
+        if (rng.bernoulli(0.4)) {
+          members.push_back(k);
+        }
+      }
+      if (members.size() >= 2) {
+        requests.constraints.push_back(
+            {RelationKind::kSameDatacenter, std::move(members)});
+      }
+    }
+    std::vector<char> keep(n, 1);
+    for (std::size_t k = 0; k < n; ++k) {
+      keep[k] = rng.bernoulli(0.6) ? 1 : 0;
+    }
+
+    // Expected survivor identities, in order.
+    std::vector<double> expected_tags;
+    std::vector<std::int32_t> expected_genes;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (keep[k] != 0) {
+        expected_tags.push_back(requests.vms[k].migration_cost);
+        expected_genes.push_back(placement.server_of(k));
+      }
+    }
+    compact_requests(requests, placement, keep);
+
+    // Survivors keep identity, order, and server assignment.
+    ASSERT_EQ(requests.vms.size(), expected_tags.size());
+    ASSERT_EQ(placement.vm_count(), expected_tags.size());
+    for (std::size_t k = 0; k < requests.vms.size(); ++k) {
+      EXPECT_DOUBLE_EQ(requests.vms[k].migration_cost, expected_tags[k]);
+      EXPECT_EQ(placement.server_of(k), expected_genes[k]);
+    }
+    // No dangling group members: every index in range, no group < 2, and
+    // no member referring to a dropped VM (indices are remapped, so any
+    // index >= survivor count would be a resurrection).
+    for (const PlacementConstraint& c : requests.constraints) {
+      EXPECT_GE(c.vms.size(), 2u);
+      for (std::uint32_t m : c.vms) {
+        EXPECT_LT(m, requests.vms.size());
+      }
+    }
+  }
+}
+
+// --- determinism battery ---
+
+std::uint64_t battery_fingerprint(std::size_t threads, std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.windows = 4;
+  cfg.arrivals_per_window_mean = 6.0;
+  cfg.departure_probability = 0.10;
+  cfg.scenario = ScenarioConfig::paper_scale(16);
+  cfg.faults.server_failure_probability = 0.08;
+  cfg.faults.leaf_failure_probability = 0.10;
+  cfg.faults.mttr_min_windows = 1;
+  cfg.faults.mttr_max_windows = 3;
+  cfg.faults.decommission_probability = 0.10;
+  cfg.retry.max_attempts = 3;
+  EaAllocatorOptions options;
+  options.nsga.population_size = 16;
+  options.nsga.max_evaluations = 320;
+  options.nsga.reference_divisions = 4;
+  options.nsga.collect_trace = true;
+  options.nsga.threads = threads;
+  CloudSimulator sim(cfg, std::make_unique<Nsga3TabuAllocator>(options));
+  return deterministic_fingerprint(sim.run(seed));
+}
+
+TEST(SimDeterminism, FingerprintBitIdenticalAcrossThreadCounts) {
+  // Failures, retries and the EA hybrid all enabled: the full window
+  // pipeline must replay bit-identically at any worker count.
+  const std::uint64_t serial = battery_fingerprint(1, 5);
+  EXPECT_EQ(battery_fingerprint(2, 5), serial);
+  EXPECT_EQ(battery_fingerprint(4, 5), serial);
+  // Re-running the serial config reproduces it exactly; a different seed
+  // must diverge (the digest actually sees the run).
+  EXPECT_EQ(battery_fingerprint(1, 5), serial);
+  EXPECT_NE(battery_fingerprint(1, 6), serial);
+}
+
+TEST(SimDeterminism, FingerprintSensitiveToFaultHistory) {
+  SimConfig cfg;
+  cfg.windows = 5;
+  cfg.arrivals_per_window_mean = 5.0;
+  cfg.scenario = ScenarioConfig::paper_scale(16);
+  CloudSimulator plain(cfg, std::make_unique<RoundRobinAllocator>());
+  cfg.faults.scripted = {{2, true, 0, 2, false}};
+  CloudSimulator faulted(cfg, std::make_unique<RoundRobinAllocator>());
+  EXPECT_NE(deterministic_fingerprint(plain.run(9)),
+            deterministic_fingerprint(faulted.run(9)));
+}
+
+// --- rack outage: eviction, re-placement, queue drain ---
+
+TEST(CloudSimulator, RackOutageEvictsAndRetryQueueDrains) {
+  SimConfig cfg;
+  cfg.windows = 10;
+  cfg.departure_probability = 0.0;
+  cfg.scenario = ScenarioConfig::paper_scale(16);
+  // Load the platform hard for three windows, then stop arrivals so the
+  // drain is observable; rack 0 (half the fleet) dies at window 2 for
+  // MTTR=3 windows (down 2-4, repaired at 5).
+  cfg.arrival_schedule = {35, 35, 35, 0, 0, 0, 0, 0, 0, 0};
+  cfg.faults.scripted = {{/*window=*/2, /*leaf_level=*/true, /*index=*/0,
+                          /*mttr_windows=*/3, /*decommission=*/false}};
+  cfg.retry.max_attempts = 6;
+  cfg.retry.backoff_base_windows = 1;
+  CloudSimulator sim(cfg, std::make_unique<RoundRobinAllocator>());
+  const auto metrics = sim.run(31);
+  ASSERT_EQ(metrics.size(), 10u);
+
+  const WindowMetrics& outage = metrics[2];
+  EXPECT_EQ(outage.failed_servers, 8u);
+  EXPECT_GT(outage.displaced_vms, 0u);   // VMs were hosted on the rack
+  EXPECT_GT(outage.evicted, 0u);         // half-capacity cannot hold all
+  // Every hosted VM left the dead rack the same window it failed.
+  for (const WindowMetrics& w : metrics) {
+    EXPECT_EQ(w.vms_on_down_servers, 0u) << "window " << w.window;
+  }
+  // The rack returns as one at window 5.
+  EXPECT_EQ(metrics[5].repaired_servers, 8u);
+  EXPECT_EQ(metrics[5].failed_servers, 0u);
+  // Evicted VMs re-enter and the queue drains within MTTR + 2 windows of
+  // the outage (by window 2 + 3 + 2 = 7).
+  std::size_t total_retried = 0;
+  for (const WindowMetrics& w : metrics) {
+    total_retried += w.retried;
+  }
+  EXPECT_GT(total_retried, 0u);
+  for (std::size_t w = 7; w < metrics.size(); ++w) {
+    EXPECT_EQ(metrics[w].retry_queue_depth, 0u) << "window " << w;
+  }
+  const SimSummary summary = summarize(metrics);
+  EXPECT_GT(summary.fault_events, 0u);
+  EXPECT_GE(summary.evicted, outage.evicted);
+}
+
+// --- graceful degradation: deadline budget and fallback chain ---
+
+TEST(CloudSimulator, TinyDeadlineDegradesToBestEffort) {
+  SimConfig cfg;
+  cfg.windows = 2;
+  cfg.arrivals_per_window_mean = 5.0;
+  cfg.departure_probability = 0.0;
+  cfg.scenario = ScenarioConfig::paper_scale(16);
+  // Any real solve exceeds 1 ns, so the EA always truncates at its first
+  // generation boundary — deterministically "best front so far".
+  cfg.allocator_deadline_seconds = 1e-9;
+  EaAllocatorOptions options;
+  options.nsga.population_size = 16;
+  options.nsga.max_evaluations = 320;
+  options.nsga.reference_divisions = 4;
+  CloudSimulator sim(cfg, std::make_unique<Nsga3Allocator>(options));
+  const auto metrics = sim.run(41);
+  const SimSummary summary = summarize(metrics);
+  EXPECT_GT(summary.degraded_windows, 0u);
+  for (const WindowMetrics& w : metrics) {
+    if (w.arrived > 0 || w.running > 0) {
+      EXPECT_EQ(w.degrade, DegradeLevel::kBestEffort) << "window "
+                                                      << w.window;
+      EXPECT_TRUE(w.fallback_algorithm.empty());
+    }
+  }
+}
+
+TEST(CloudSimulator, HardDeadlineOverrunServedByFallback) {
+  SimConfig cfg;
+  cfg.windows = 3;
+  cfg.arrivals_per_window_mean = 5.0;
+  cfg.scenario = ScenarioConfig::paper_scale(16);
+  // Hard ceiling of 1 ns: every primary call overruns it, so the greedy
+  // fallback serves every window — a forced overrun must not lose the
+  // window, it must degrade it.
+  cfg.allocator_deadline_seconds = 1e-9;
+  cfg.deadline_hard_factor = 1.0;
+  CloudSimulator sim(cfg, std::make_unique<RoundRobinAllocator>());
+  const auto metrics = sim.run(43);
+  std::size_t degraded = 0;
+  for (const WindowMetrics& w : metrics) {
+    if (w.arrived == 0 && w.running == 0) {
+      continue;
+    }
+    EXPECT_EQ(w.degrade, DegradeLevel::kFallback);
+    EXPECT_EQ(w.fallback_algorithm, "FirstFitDecreasing");
+    ++degraded;
+  }
+  EXPECT_GT(degraded, 0u);
+  EXPECT_EQ(summarize(metrics).degraded_windows, degraded);
+}
+
+class ThrowingAllocator : public Allocator {
+ public:
+  [[nodiscard]] std::string name() const override { return "Throwing"; }
+  AllocationResult allocate(const Instance&, std::uint64_t) override {
+    throw std::runtime_error("allocator blew up");
+  }
+};
+
+TEST(CloudSimulator, ThrowingAllocatorFallsBackAndBalances) {
+  SimConfig cfg;
+  cfg.windows = 4;
+  cfg.arrivals_per_window_mean = 6.0;
+  cfg.departure_probability = 0.10;
+  cfg.scenario = ScenarioConfig::paper_scale(16);
+  CloudSimulator sim(cfg, std::make_unique<ThrowingAllocator>());
+  const auto metrics = sim.run(47);
+  std::size_t running = 0;
+  for (const WindowMetrics& w : metrics) {
+    if (w.arrived > 0 || running > 0) {
+      EXPECT_EQ(w.degrade, DegradeLevel::kFallback);
+      EXPECT_EQ(w.fallback_algorithm, "FirstFitDecreasing");
+    }
+    const std::size_t expected =
+        running - w.departed + w.arrived + w.retried - w.rejected;
+    EXPECT_EQ(w.running, expected) << "window " << w.window;
+    running = w.running;
+  }
+}
+
+TEST(CloudSimulator, CustomFallbackAllocatorIsUsed) {
+  SimConfig cfg;
+  cfg.windows = 2;
+  cfg.arrivals_per_window_mean = 4.0;
+  cfg.scenario = ScenarioConfig::paper_scale(16);
+  CloudSimulator sim(cfg, std::make_unique<ThrowingAllocator>(),
+                     std::make_unique<BestFitAllocator>());
+  for (const WindowMetrics& w : sim.run(53)) {
+    if (w.arrived > 0 || w.running > 0) {
+      EXPECT_EQ(w.fallback_algorithm, "BestFit");
+    }
+  }
+}
+
+// --- retry queue conservation laws under sustained overload ---
+
+TEST(CloudSimulator, RetryConservationUnderOverload) {
+  SimConfig cfg;
+  cfg.windows = 12;
+  cfg.arrivals_per_window_mean = 20.0;  // deliberately over capacity
+  cfg.departure_probability = 0.10;
+  cfg.scenario = ScenarioConfig::paper_scale(16);
+  cfg.retry.max_attempts = 3;
+  cfg.retry.backoff_base_windows = 1;
+  cfg.retry.backoff_cap_windows = 4;
+  CloudSimulator sim(cfg, std::make_unique<RoundRobinAllocator>());
+  const auto metrics = sim.run(61);
+
+  std::size_t running = 0;
+  std::size_t depth = 0;
+  std::size_t offered_total = 0;
+  std::size_t retried_total = 0;
+  for (const WindowMetrics& w : metrics) {
+    // Population balance now includes re-entries.
+    const std::size_t expected_running =
+        running - w.departed + w.arrived + w.retried - w.rejected;
+    EXPECT_EQ(w.running, expected_running) << "window " << w.window;
+    running = w.running;
+    // Queue balance: what leaves is retried, what enters is this
+    // window's non-permanent rejections.
+    ASSERT_GE(w.rejected, w.permanently_rejected);
+    const std::size_t offered = w.rejected - w.permanently_rejected;
+    EXPECT_EQ(w.retry_queue_depth, depth - w.retried + offered)
+        << "window " << w.window;
+    depth = w.retry_queue_depth;
+    offered_total += offered;
+    retried_total += w.retried;
+    // A VM re-enters only after it was queued: no resurrection from
+    // nothing (cumulative retried never exceeds cumulative offers).
+    EXPECT_LE(retried_total, offered_total);
+  }
+  // End-of-horizon conservation: every queued VM either re-entered or is
+  // still waiting.
+  EXPECT_EQ(offered_total, retried_total + depth);
+  EXPECT_GT(retried_total, 0u);
+  const SimSummary summary = summarize(metrics);
+  EXPECT_EQ(summary.retried, retried_total);
+  EXPECT_GT(summary.permanently_rejected, 0u);
+}
+
+#if IAAS_TELEMETRY
+TEST(CloudSimulator, TelemetryCountersMeterTheLifecycle) {
+  telemetry::Registry::global().reset();
+  SimConfig cfg;
+  cfg.windows = 8;
+  cfg.arrivals_per_window_mean = 15.0;
+  cfg.scenario = ScenarioConfig::paper_scale(16);
+  cfg.faults.scripted = {{1, true, 0, 2, false}};
+  cfg.retry.max_attempts = 3;
+  CloudSimulator sim(cfg, std::make_unique<RoundRobinAllocator>());
+  const SimSummary summary = summarize(sim.run(67));
+
+  const telemetry::CounterBlock counters =
+      telemetry::Registry::global().counters();
+  EXPECT_EQ(counters[telemetry::Counter::kSimFaultEvents],
+            summary.fault_events);
+  EXPECT_EQ(counters[telemetry::Counter::kSimEvictions], summary.evicted);
+  EXPECT_EQ(counters[telemetry::Counter::kSimRetries], summary.retried);
+  EXPECT_EQ(counters[telemetry::Counter::kSimPermanentRejections],
+            summary.permanently_rejected);
+  EXPECT_EQ(counters[telemetry::Counter::kSimDegradedWindows],
+            summary.degraded_windows);
+  const auto seconds = telemetry::Registry::global().phase_seconds();
+  EXPECT_GT(seconds[static_cast<std::size_t>(telemetry::Phase::kSimWindow)],
+            0.0);
+}
+#endif  // IAAS_TELEMETRY
 
 }  // namespace
 }  // namespace iaas

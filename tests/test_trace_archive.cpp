@@ -1,9 +1,12 @@
-// Arrival traces (diurnal + bursts) and the external Pareto archive.
+// Arrival traces (diurnal + bursts), the external Pareto archive, and
+// the simulator-trace JSON round trip.
 #include <gtest/gtest.h>
 
+#include "algo/nsga_allocators.h"
 #include "algo/round_robin.h"
 #include "ea/archive.h"
 #include "ea/nsga3.h"
+#include "io/trace_json.h"
 #include "sim/simulator.h"
 #include "tests/test_util.h"
 #include "workload/trace.h"
@@ -96,6 +99,94 @@ TEST(ArrivalTrace, DrivesSimulatorSchedule) {
   for (std::size_t w = 0; w < 6; ++w) {
     EXPECT_EQ(metrics[w].arrived, trace.counts()[w]);
   }
+}
+
+// A horizon with real failure events, retries AND degraded windows: rack
+// 0 dies at window 1, a 1 ns deadline truncates the EA every window, and
+// overload keeps the retry queue busy.
+std::vector<WindowMetrics> eventful_run() {
+  SimConfig cfg;
+  cfg.windows = 5;
+  cfg.arrivals_per_window_mean = 12.0;
+  cfg.scenario = ScenarioConfig::paper_scale(16);
+  cfg.faults.scripted = {{1, /*leaf_level=*/true, 0, /*mttr_windows=*/2,
+                          false},
+                         {3, false, 9, 1, /*decommission=*/true}};
+  cfg.retry.max_attempts = 3;
+  cfg.allocator_deadline_seconds = 1e-9;
+  EaAllocatorOptions options;
+  options.nsga.population_size = 16;
+  options.nsga.max_evaluations = 320;
+  options.nsga.reference_divisions = 4;
+  options.nsga.collect_trace = true;
+  CloudSimulator sim(cfg, std::make_unique<Nsga3Allocator>(options));
+  return sim.run(29);
+}
+
+TEST(SimTraceJson, EmitParseReEmitIsByteIdentical) {
+  const std::vector<WindowMetrics> metrics = eventful_run();
+  // The scenario must actually exercise what the format claims to carry.
+  const SimSummary summary = summarize(metrics);
+  ASSERT_GT(summary.fault_events, 0u);
+  ASSERT_GT(summary.degraded_windows, 0u);
+  bool has_trace = false;
+  for (const WindowMetrics& w : metrics) {
+    has_trace = has_trace || !w.allocator_trace.empty();
+  }
+  ASSERT_TRUE(has_trace);
+
+  const Json emitted = sim_trace_to_json(metrics);
+  const std::string text = emitted.dump(2);
+  const std::vector<WindowMetrics> parsed =
+      sim_trace_from_json(Json::parse(text));
+  EXPECT_EQ(sim_trace_to_json(parsed).dump(2), text);
+  // And the parsed horizon is the same run, not just the same text.
+  EXPECT_EQ(deterministic_fingerprint(parsed),
+            deterministic_fingerprint(metrics));
+  ASSERT_EQ(parsed.size(), metrics.size());
+  for (std::size_t w = 0; w < metrics.size(); ++w) {
+    EXPECT_EQ(parsed[w].fault_events, metrics[w].fault_events);
+    EXPECT_EQ(parsed[w].degrade, metrics[w].degrade);
+    EXPECT_EQ(parsed[w].retry_queue_depth, metrics[w].retry_queue_depth);
+    EXPECT_DOUBLE_EQ(parsed[w].solve_seconds, metrics[w].solve_seconds);
+  }
+}
+
+TEST(SimTraceJson, RunTraceRoundTripsThroughJson) {
+  telemetry::RunTrace trace;
+  trace.label = "nsga3 w2";
+  trace.seed = 12345;
+  telemetry::GenerationRow row;
+  row.generation = 3;
+  row.evaluations = 160;
+  row.front_size = 7;
+  row.best_objectives = {1.5, 0.0, 2.25};
+  row.seconds_evaluate = 0.015625;  // dyadic: exact through JSON
+  trace.rows.push_back(row);
+  const Json j = trace_to_json(trace);
+  const telemetry::RunTrace back = trace_from_json(j);
+  EXPECT_EQ(back.label, trace.label);
+  EXPECT_EQ(back.seed, trace.seed);
+  ASSERT_EQ(back.rows.size(), 1u);
+  EXPECT_EQ(back.rows[0].generation, 3u);
+  EXPECT_EQ(back.rows[0].evaluations, 160u);
+  EXPECT_EQ(back.rows[0].front_size, 7u);
+  EXPECT_DOUBLE_EQ(back.rows[0].best_objectives[2], 2.25);
+  EXPECT_DOUBLE_EQ(back.rows[0].seconds_evaluate, 0.015625);
+  EXPECT_EQ(trace_to_json(back).dump(), j.dump());
+}
+
+TEST(SimTraceJson, ShapeErrorsThrow) {
+  EXPECT_THROW(sim_trace_from_json(Json::parse(R"({"nope": []})")),
+               std::runtime_error);
+  EXPECT_THROW(
+      sim_trace_from_json(Json::parse(
+          R"({"windows": [{"window": 0}]})")),
+      std::runtime_error);
+  // An empty horizon is a valid document, not a shape error.
+  Json empty = Json::object();
+  empty["windows"] = Json::array();
+  EXPECT_TRUE(sim_trace_from_json(empty).empty());
 }
 
 Individual ind(double a, double b, double c, std::uint32_t violations = 0) {
