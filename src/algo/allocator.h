@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/telemetry.h"
 #include "model/instance.h"
@@ -44,6 +45,12 @@ struct AllocationResult {
   // run with NsgaConfig::collect_trace set).
   telemetry::RunTrace trace;
 
+  // Final-front gene vectors, exported only after seed_next_run() armed
+  // the allocator (EA family; empty otherwise).  The simulator carries
+  // them across windows — compacted alongside the live placement — and
+  // feeds them back through seed_next_run to warm-start the next search.
+  std::vector<std::vector<std::int32_t>> front_genes;
+
   [[nodiscard]] double rejection_rate() const {
     return vm_count == 0
                ? 0.0
@@ -68,6 +75,17 @@ class Allocator {
   // with `deadline_hit`; algorithms with no anytime behaviour ignore it.
   // The simulator sets this from SimConfig::allocator_deadline_seconds.
   virtual void set_time_budget(double /*seconds*/) {}
+
+  // Warm-start hand-off between successive allocate() calls: `front`
+  // holds gene vectors aligned to the NEXT call's VM indexing (typically
+  // the previous call's front_genes, compacted by the simulator).
+  // Returns true when the allocator consumed the seeds — which also arms
+  // front_genes export on the next result.  The default ignores seeds
+  // and returns false (stateless algorithms have nothing to warm).
+  virtual bool seed_next_run(
+      std::vector<std::vector<std::int32_t>> /*front*/) {
+    return false;
+  }
 
   // Audits + sanitizes a raw placement and fills the metric fields.
   // Public so composition helpers (and tests) can reuse the pipeline.

@@ -11,12 +11,13 @@ namespace {
 
 // Shared tail of every EA allocator: run the engine, pick the front
 // member nearest the ideal point, optionally polish with tabu search,
-// then audit + sanitize.
+// then audit + sanitize.  `export_front` additionally copies the final
+// front's gene vectors into the result for the warm-start hand-off.
 template <typename Engine>
 AllocationResult run_engine(const Instance& instance, std::uint64_t seed,
                             const std::string& algo_name,
                             const EaAllocatorOptions& options,
-                            Engine& engine,
+                            Engine& engine, bool export_front,
                             const RepairFn& final_repair = nullptr) {
   Stopwatch timer;
   typename Engine::Result ea_result = engine.run(seed);
@@ -45,6 +46,12 @@ AllocationResult run_engine(const Instance& instance, std::uint64_t seed,
     result.trace = std::move(ea_result.trace);
     result.trace.label = algo_name;
   }
+  if (export_front) {
+    result.front_genes.reserve(ea_result.front.size());
+    for (Individual& member : ea_result.front) {
+      result.front_genes.push_back(std::move(member.genes));
+    }
+  }
   return result;
 }
 
@@ -62,27 +69,29 @@ NsgaConfig with_repair(NsgaConfig config) {
 }  // namespace
 
 Nsga2Allocator::Nsga2Allocator(EaAllocatorOptions options)
-    : options_(std::move(options)) {}
+    : EaAllocatorBase(std::move(options)) {}
 
 AllocationResult Nsga2Allocator::allocate(const Instance& instance,
                                           std::uint64_t seed) {
   AllocationProblem problem(instance, options_.objectives);
   Nsga2 engine(problem, unmodified(options_.nsga));
-  return run_engine(instance, seed, name(), options_, engine);
+  return run_engine(instance, seed, name(), options_, engine,
+                    export_front_);
 }
 
 Nsga3Allocator::Nsga3Allocator(EaAllocatorOptions options)
-    : options_(std::move(options)) {}
+    : EaAllocatorBase(std::move(options)) {}
 
 AllocationResult Nsga3Allocator::allocate(const Instance& instance,
                                           std::uint64_t seed) {
   AllocationProblem problem(instance, options_.objectives);
   Nsga3 engine(problem, unmodified(options_.nsga));
-  return run_engine(instance, seed, name(), options_, engine);
+  return run_engine(instance, seed, name(), options_, engine,
+                    export_front_);
 }
 
 Nsga3CpAllocator::Nsga3CpAllocator(EaAllocatorOptions options)
-    : options_(std::move(options)) {}
+    : EaAllocatorBase(std::move(options)) {}
 
 AllocationResult Nsga3CpAllocator::allocate(const Instance& instance,
                                             std::uint64_t seed) {
@@ -103,11 +112,12 @@ AllocationResult Nsga3CpAllocator::allocate(const Instance& instance,
                                             Rng& rng) {
     final_repair.repair(genes, rng);
   };
-  return run_engine(instance, seed, name(), options_, engine, final_fn);
+  return run_engine(instance, seed, name(), options_, engine,
+                    export_front_, final_fn);
 }
 
 Nsga3TabuAllocator::Nsga3TabuAllocator(EaAllocatorOptions options)
-    : options_(std::move(options)) {}
+    : EaAllocatorBase(std::move(options)) {}
 
 AllocationResult Nsga3TabuAllocator::allocate(const Instance& instance,
                                               std::uint64_t seed) {
@@ -124,7 +134,8 @@ AllocationResult Nsga3TabuAllocator::allocate(const Instance& instance,
     repair.repair_state(state, rng);
   };
   Nsga3 engine(problem, with_repair(options_.nsga), repair_fn, state_fn);
-  return run_engine(instance, seed, name(), options_, engine, repair_fn);
+  return run_engine(instance, seed, name(), options_, engine,
+                    export_front_, repair_fn);
 }
 
 }  // namespace iaas

@@ -1,0 +1,139 @@
+// BrokerAllocator: partitions a request set across the clouds of a
+// CloudMarket and runs a per-cloud backend allocator on each slice.
+//
+// Routing is greedy cheapest-feasible: assignment units (the transitive
+// closure of each relationship group — a group is never split across
+// clouds, so every Eq. 9-12 constraint stays locally checkable) are
+// offered to online providers in ascending effective-price order, the
+// first one whose projected utilisation stays under the headroom cap
+// taking the unit.  The market-aware mode additionally runs
+// `reassignment_rounds` of in-window redirection: VMs a backend rejects
+// are re-routed (as standalone units) to the other clouds,
+// cheapest-first, and the receiving slices are re-solved — the
+// iterative rejected/expensive reassignment loop of the multi-cloud
+// brokering literature.
+//
+// The per-cloud backend is any registered allocator (algo/registry), so
+// the paper's NSGA-III+tabu — or the CP baseline, or first-fit — can
+// serve each cloud unchanged.  One backend instance is kept per
+// provider, which is what lets EA backends carry warm-start fronts
+// across windows in the multi-cloud simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "algo/registry.h"
+#include "broker/market.h"
+#include "model/request_set.h"
+
+namespace iaas {
+
+enum class BrokerMode : std::uint8_t {
+  kCheapestFeasible,  // route once; rejects stay rejected
+  kMarketAware,       // + in-window reassignment of rejected VMs
+};
+
+const char* broker_mode_name(BrokerMode mode);
+
+struct BrokerConfig {
+  BrokerMode mode = BrokerMode::kCheapestFeasible;
+  // Per-cloud backend, built through algo/registry.
+  AlgorithmId backend = AlgorithmId::kFirstFitDecreasing;
+  SuiteOptions suite;
+  // Market-aware: rounds of offering rejected VMs to the other clouds
+  // within the same allocation (each round re-solves receiving slices).
+  std::size_t reassignment_rounds = 2;
+  // Cross-cloud redirect budget per VM (outages, rejections, reshops):
+  // a VM redirected more than this many times is permanently rejected —
+  // the bound that keeps an orphan of a decommissioned cloud from
+  // circulating forever.
+  std::size_t max_redirects = 3;
+  // Routing feasibility: a provider can take a unit while its projected
+  // per-attribute utilisation stays under this fraction of effective
+  // capacity.
+  double capacity_headroom = 0.9;
+  // Reshop (multi-cloud simulator, market-aware only): when a
+  // provider's price multiplier exceeds the cheapest online one by this
+  // factor, up to reshop_max_vms_per_window group-free VMs are pulled
+  // off it and re-brokered, paying the cross-cloud egress bill.
+  double reshop_threshold = 1.5;
+  std::size_t reshop_max_vms_per_window = 8;
+};
+
+// One brokered allocation over a fresh request set.
+struct BrokerResult {
+  // Index-parallel with the market's providers; empty slice results have
+  // vm_count 0.  Objectives inside are already price-scaled (Eq. 22
+  // term x the provider's effective multiplier for the window).
+  std::vector<AllocationResult> per_cloud;
+  // Provider index per VM of the input request set; kRejectedProvider
+  // for VMs no cloud accepted.
+  static constexpr std::int32_t kRejectedProvider = -1;
+  std::vector<std::int32_t> provider_of_vm;
+
+  ObjectiveVector total;  // price-scaled sum over clouds
+  std::size_t vm_count = 0;
+  std::size_t rejected = 0;
+  std::size_t redirects = 0;  // cross-cloud reassignments performed
+
+  [[nodiscard]] double rejection_rate() const {
+    return vm_count == 0 ? 0.0
+                         : static_cast<double>(rejected) /
+                               static_cast<double>(vm_count);
+  }
+  [[nodiscard]] double acceptance_rate() const {
+    return 1.0 - rejection_rate();
+  }
+};
+
+// Groups VM indices into assignment units: the transitive closure of
+// the relationship groups (VMs sharing any constraint land in one
+// unit), one singleton unit per unconstrained VM.  Units are ordered by
+// their smallest member, members ascending — a deterministic partition.
+std::vector<std::vector<std::uint32_t>> assignment_units(
+    const RequestSet& requests);
+
+class BrokerAllocator {
+ public:
+  static constexpr std::size_t kNoProvider = static_cast<std::size_t>(-1);
+
+  // `market` must outlive the broker.
+  BrokerAllocator(CloudMarket& market, BrokerConfig config);
+
+  // One-shot brokered allocation of a fresh request set (no previous
+  // placements; the multi-cloud simulator drives windowed allocation
+  // through route()/backend() directly).  Deterministic per seed.
+  BrokerResult allocate(const RequestSet& requests, std::size_t window,
+                        std::uint64_t seed);
+
+  // Routing primitive: cheapest online provider (by effective price
+  // multiplier at `window`, provider order breaking ties) that can take
+  // `unit_demand` (summed per attribute) while `projected_load[p][l] +
+  // demand <= headroom x effective capacity`; `exclude[p]` skips
+  // providers already tried.  kNoProvider when nothing fits.
+  [[nodiscard]] std::size_t route(const std::vector<double>& unit_demand,
+                                  std::size_t window,
+                                  const std::vector<std::vector<double>>&
+                                      projected_load,
+                                  const std::vector<char>& exclude) const;
+
+  // The per-provider backend allocator (built lazily from the registry;
+  // one instance per provider, kept across calls).
+  Allocator& backend(std::size_t provider);
+
+  [[nodiscard]] const BrokerConfig& config() const { return config_; }
+  [[nodiscard]] CloudMarket& market() { return *market_; }
+
+  // Summed per-attribute demand of a set of VMs.
+  static std::vector<double> demand_of(const RequestSet& requests,
+                                       const std::vector<std::uint32_t>& vms);
+
+ private:
+  CloudMarket* market_;
+  BrokerConfig config_;
+  std::vector<std::unique_ptr<Allocator>> backends_;
+};
+
+}  // namespace iaas

@@ -11,6 +11,7 @@
 #include "common/expect.h"
 #include "common/stopwatch.h"
 #include "ea/archive.h"
+#include "model/placement.h"
 
 namespace iaas {
 namespace {
@@ -291,6 +292,30 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
     std::vector<std::int32_t> warm = problem_->warm_start_genes(rng);
     if (!warm.empty()) {
       population.front().genes = std::move(warm);
+    }
+  }
+  if (!config_.seed_genes.empty()) {
+    // Cross-run seeds (a previous run's front): slot them in after the
+    // incumbent, capped at half the population so exploration survives.
+    // Wrong-length vectors are skipped (the VM set changed shape in a
+    // way the caller's compaction could not track); genes are clamped
+    // into the valid range.
+    std::size_t slot = config_.warm_start ? 1 : 0;
+    const std::size_t cap =
+        std::min(population.size() / 2,
+                 config_.seed_genes.size() + slot);
+    for (const std::vector<std::int32_t>& seed_vec : config_.seed_genes) {
+      if (slot >= cap) {
+        break;
+      }
+      if (seed_vec.size() != problem_->gene_count()) {
+        continue;
+      }
+      Individual& ind = population[slot++];
+      ind.genes = seed_vec;
+      for (std::int32_t& g : ind.genes) {
+        g = std::clamp(g, Placement::kRejected, max_gene);
+      }
     }
   }
   // Parallel phase: in repair mode initial individuals are repaired too,

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace iaas {
 
@@ -50,6 +51,15 @@ struct NsgaConfig {
   // rediscovers the incumbent and the migration objective cannot hold
   // running work in place.
   bool warm_start = true;
+
+  // Cross-run warm start: gene vectors (e.g. the previous run's final
+  // front, compacted to the current VM set) injected into the initial
+  // population after the incumbent.  Vectors whose length does not match
+  // the problem's gene count are skipped; at most half the population is
+  // seeded so random exploration survives.  Genes are clamped to the
+  // valid range.  Cleared state between windows is the caller's job —
+  // the engine reads it verbatim each run.
+  std::vector<std::vector<std::int32_t>> seed_genes;
 
   // U-NSGA-III niche tournament (the paper's [28]): when two tournament
   // candidates share rank *and* reference niche, the one closer to its

@@ -160,6 +160,53 @@ FaultEvent fault_event_from_json(const Json& json) {
   return event;
 }
 
+Json provider_metrics_to_json(const ProviderWindowMetrics& p) {
+  Json out = Json::object();
+  const auto num = [](std::size_t v) {
+    return Json::number(static_cast<double>(v));
+  };
+  out["provider"] = num(p.provider);
+  out["online"] = Json::boolean(p.online);
+  out["price_multiplier"] = Json::number(p.price_multiplier);
+  out["running"] = num(p.running);
+  out["routed"] = num(p.routed);
+  out["rejected"] = num(p.rejected);
+  out["evicted"] = num(p.evicted);
+  out["redirects_in"] = num(p.redirects_in);
+  out["failed_servers"] = num(p.failed_servers);
+  out["migrations"] = num(p.migrations);
+  out["migration_cost"] = Json::number(p.migration_cost);
+  Json objectives = Json::array();
+  objectives.push_back(Json::number(p.objectives.usage_cost));
+  objectives.push_back(Json::number(p.objectives.downtime_cost));
+  objectives.push_back(Json::number(p.objectives.migration_cost));
+  out["objectives"] = std::move(objectives);
+  return out;
+}
+
+ProviderWindowMetrics provider_metrics_from_json(const Json& json) {
+  ProviderWindowMetrics p;
+  p.provider = static_cast<std::uint32_t>(json.at("provider").as_number());
+  p.online = json.at("online").as_bool();
+  p.price_multiplier = json.at("price_multiplier").as_number();
+  p.running = as_size(json.at("running"));
+  p.routed = as_size(json.at("routed"));
+  p.rejected = as_size(json.at("rejected"));
+  p.evicted = as_size(json.at("evicted"));
+  p.redirects_in = as_size(json.at("redirects_in"));
+  p.failed_servers = as_size(json.at("failed_servers"));
+  p.migrations = as_size(json.at("migrations"));
+  p.migration_cost = json.at("migration_cost").as_number();
+  const Json& objectives = json.at("objectives");
+  if (objectives.size() != 3) {
+    shape_error("provider objective vector must have three terms");
+  }
+  p.objectives.usage_cost = objectives.at(0).as_number();
+  p.objectives.downtime_cost = objectives.at(1).as_number();
+  p.objectives.migration_cost = objectives.at(2).as_number();
+  return p;
+}
+
 DegradeLevel degrade_level_from_name(const std::string& name) {
   for (DegradeLevel level :
        {DegradeLevel::kNone, DegradeLevel::kBestEffort,
@@ -203,6 +250,19 @@ Json sim_trace_to_json(const std::vector<WindowMetrics>& metrics) {
     w["retried"] = num(row.retried);
     w["permanently_rejected"] = num(row.permanently_rejected);
     w["retry_queue_depth"] = num(row.retry_queue_depth);
+    // Multi-cloud columns, emitted only for brokered traces so legacy
+    // single-cloud fixtures keep their exact shape.
+    if (!row.providers.empty()) {
+      Json providers = Json::array();
+      for (const ProviderWindowMetrics& p : row.providers) {
+        providers.push_back(provider_metrics_to_json(p));
+      }
+      w["providers"] = std::move(providers);
+      w["redirects"] = num(row.redirects);
+      w["offline_providers"] = num(row.offline_providers);
+      w["cross_cloud_migration_cost"] =
+          Json::number(row.cross_cloud_migration_cost);
+    }
     w["degrade"] = Json::string(degrade_level_name(row.degrade));
     w["fallback_algorithm"] = Json::string(row.fallback_algorithm);
     Json objectives = Json::array();
@@ -249,6 +309,18 @@ std::vector<WindowMetrics> sim_trace_from_json(const Json& json) {
     row.retried = as_size(w.at("retried"));
     row.permanently_rejected = as_size(w.at("permanently_rejected"));
     row.retry_queue_depth = as_size(w.at("retry_queue_depth"));
+    if (w.contains("providers")) {
+      const Json& providers = w.at("providers");
+      row.providers.reserve(providers.size());
+      for (std::size_t p = 0; p < providers.size(); ++p) {
+        row.providers.push_back(
+            provider_metrics_from_json(providers.at(p)));
+      }
+      row.redirects = as_size(w.at("redirects"));
+      row.offline_providers = as_size(w.at("offline_providers"));
+      row.cross_cloud_migration_cost =
+          w.at("cross_cloud_migration_cost").as_number();
+    }
     row.degrade = degrade_level_from_name(w.at("degrade").as_string());
     row.fallback_algorithm = w.at("fallback_algorithm").as_string();
     const Json& objectives = w.at("objectives");

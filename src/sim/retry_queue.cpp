@@ -21,13 +21,15 @@ std::size_t RetryQueue::backoff_windows(std::size_t attempts) const {
 }
 
 bool RetryQueue::offer(VmRequest vm, std::size_t attempts,
-                       std::size_t window) {
+                       std::size_t window, std::size_t redirects,
+                       std::int32_t home_provider) {
   IAAS_EXPECT(attempts >= 1, "a queued VM has failed at least once");
   if (attempts >= policy_.max_attempts) {
     return false;  // budget spent (or retries disabled): permanent
   }
-  queue_.push_back(
-      {std::move(vm), attempts, window + backoff_windows(attempts)});
+  queue_.push_back({std::move(vm), attempts,
+                    window + backoff_windows(attempts), redirects,
+                    home_provider});
   return true;
 }
 

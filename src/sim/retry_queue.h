@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -29,6 +30,13 @@ struct RetryEntry {
   VmRequest vm;
   std::size_t attempts = 0;      // failed placements so far (>= 1)
   std::size_t ready_window = 0;  // earliest window it may re-enter
+  // Cross-cloud redirections so far (multi-cloud broker: outage
+  // evictions, rejections re-routed to another provider, reshops).
+  // Single-cloud simulations leave it 0.
+  std::size_t redirects = 0;
+  // Provider that last hosted (or rejected) the VM, for egress pricing
+  // when it lands elsewhere; -1 = fresh arrival / single-cloud.
+  std::int32_t home_provider = -1;
 };
 
 class RetryQueue {
@@ -41,7 +49,10 @@ class RetryQueue {
   // `vm` failed its `attempts`-th placement during `window`.  Queues it
   // for window + backoff and returns true, or returns false when the
   // attempt budget is spent (permanent rejection; the VM is dropped).
-  bool offer(VmRequest vm, std::size_t attempts, std::size_t window);
+  // `redirects` and `home_provider` are carried through unchanged for
+  // the broker's cross-cloud redirect budget and egress pricing.
+  bool offer(VmRequest vm, std::size_t attempts, std::size_t window,
+             std::size_t redirects = 0, std::int32_t home_provider = -1);
 
   // Entries whose backoff has elapsed by `window`, in FIFO order (stable
   // across identical runs — the simulator's determinism depends on it).

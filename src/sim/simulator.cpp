@@ -148,6 +148,8 @@ SimSummary summarize(const std::vector<WindowMetrics>& metrics) {
     s.displaced_vms += row.displaced_vms;
     s.migration_cost += row.migration_cost;
     s.downtime_cost += row.objectives.downtime_cost;
+    s.redirects += row.redirects;
+    s.cross_cloud_migration_cost += row.cross_cloud_migration_cost;
   }
   return s;
 }
@@ -184,6 +186,28 @@ std::uint64_t deterministic_fingerprint(
     fnv_u64(h, row.retried);
     fnv_u64(h, row.permanently_rejected);
     fnv_u64(h, row.retry_queue_depth);
+    // Multi-cloud columns.  The provider count is hashed even when zero,
+    // so "no market" and "a market of silent providers" stay distinct.
+    fnv_u64(h, row.providers.size());
+    for (const ProviderWindowMetrics& p : row.providers) {
+      fnv_u64(h, p.provider);
+      fnv_u64(h, p.online ? 1 : 0);
+      fnv_f64(h, p.price_multiplier);
+      fnv_u64(h, p.running);
+      fnv_u64(h, p.routed);
+      fnv_u64(h, p.rejected);
+      fnv_u64(h, p.evicted);
+      fnv_u64(h, p.redirects_in);
+      fnv_u64(h, p.failed_servers);
+      fnv_u64(h, p.migrations);
+      fnv_f64(h, p.migration_cost);
+      fnv_f64(h, p.objectives.usage_cost);
+      fnv_f64(h, p.objectives.downtime_cost);
+      fnv_f64(h, p.objectives.migration_cost);
+    }
+    fnv_u64(h, row.redirects);
+    fnv_u64(h, row.offline_providers);
+    fnv_f64(h, row.cross_cloud_migration_cost);
     fnv_u64(h, static_cast<std::uint64_t>(row.degrade));
     fnv_str(h, row.fallback_algorithm);
     fnv_f64(h, row.objectives.usage_cost);
@@ -249,6 +273,20 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
   // Failed placement attempts consumed by each live VM (index-parallel
   // with live.vms; fresh arrivals start at 0, retried VMs carry theirs).
   std::vector<std::size_t> attempts;
+  // warm_start_front: the previous window's final front, each gene
+  // vector kept index-parallel with live.vms through the same
+  // compactions/appends as the live placement.
+  std::vector<std::vector<std::int32_t>> carried_front;
+  const auto compact_front = [&carried_front](const std::vector<char>& keep) {
+    for (std::vector<std::int32_t>& genes : carried_front) {
+      compact_parallel(genes, keep);
+    }
+  };
+  const auto extend_front = [&carried_front](std::size_t count) {
+    for (std::vector<std::int32_t>& genes : carried_front) {
+      genes.insert(genes.end(), count, Placement::kRejected);
+    }
+  };
 
   std::vector<WindowMetrics> metrics;
   metrics.reserve(config_.windows);
@@ -286,6 +324,7 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
       if (row.departed > 0) {
         compact_requests(live, live_placement, keep);
         compact_parallel(attempts, keep);
+        compact_front(keep);
       }
     }
 
@@ -297,6 +336,7 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
       live.vms.push_back(std::move(entry.vm));
       live_placement.genes().push_back(Placement::kRejected);
       attempts.push_back(entry.attempts);
+      extend_front(1);
       ++row.retried;
     }
     telemetry::count(telemetry::Counter::kSimRetries, row.retried);
@@ -314,6 +354,7 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
         live_placement.genes().push_back(Placement::kRejected);
         attempts.push_back(0);
       }
+      extend_front(batch.vms.size());
       for (PlacementConstraint& c : batch.constraints) {
         for (std::uint32_t& k : c.vms) {
           k += offset;
@@ -363,6 +404,13 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
     // seed whether or not the primary completes.
     const std::uint64_t window_seed = rng.next_u64();
 
+    // Hand the carried front to the allocator (EA family consumes it and
+    // arms front export; others decline — the copy keeps our carry
+    // intact in case the window degrades to the fallback).
+    if (config_.warm_start_front) {
+      allocator_->seed_next_run(carried_front);
+    }
+
     Stopwatch timer;
     AllocationResult result;
     bool primary_failed = false;
@@ -403,6 +451,12 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
     if (!row.allocator_trace.empty()) {
       row.allocator_trace.label += " w" + std::to_string(w);
     }
+    if (config_.warm_start_front && !result.front_genes.empty()) {
+      // Adopt the fresh front (aligned with this window's instance); a
+      // degraded window exports none and the previous carry — still
+      // aligned — survives.
+      carried_front = std::move(result.front_genes);
+    }
 
     const ReconfigurationPlan plan =
         make_plan(instance, live_placement, result.placement);
@@ -437,6 +491,7 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
     if (any_drop) {
       compact_requests(live, live_placement, keep);
       compact_parallel(attempts, keep);
+      compact_front(keep);
     }
     row.running = live.vms.size();
     row.retry_queue_depth = retries.size();

@@ -76,6 +76,12 @@ struct SimConfig {
   // diurnal/burst model).  When non-empty it overrides the Poisson
   // arrivals; windows beyond its length wrap around (periodic schedule).
   std::vector<std::size_t> arrival_schedule;
+  // Persist the allocator's final front across windows and feed it back
+  // (Allocator::seed_next_run) as seeds for the next window's search.
+  // Front gene vectors are compacted/extended in lockstep with the live
+  // placement, so they stay aligned with the next window's VM indexing.
+  // No-op for allocators that decline the hand-off (non-EA).
+  bool warm_start_front = false;
   ScenarioConfig scenario;                 // infrastructure + request shape
 };
 
@@ -94,6 +100,26 @@ enum class DegradeLevel : std::uint8_t {
 };
 
 const char* degrade_level_name(DegradeLevel level);
+
+// Per-provider slice of one multi-cloud window (broker/multicloud_sim).
+// Single-cloud simulations leave WindowMetrics::providers empty, so the
+// fingerprint of an existing trace is unchanged... except that the
+// column count is itself hashed, keeping "no providers" and "one silent
+// provider" distinguishable.
+struct ProviderWindowMetrics {
+  std::uint32_t provider = 0;        // index into the CloudMarket
+  bool online = true;
+  double price_multiplier = 1.0;     // effective (billing x spot x shock)
+  std::size_t running = 0;           // VMs hosted after the window
+  std::size_t routed = 0;            // VMs the broker sent here this window
+  std::size_t rejected = 0;          // of this provider's slice instance
+  std::size_t evicted = 0;           // previously running, lost this window
+  std::size_t redirects_in = 0;      // arrivals that were redirects
+  std::size_t failed_servers = 0;    // provider-local fault model
+  std::size_t migrations = 0;        // intra-cloud, from the plan
+  double migration_cost = 0.0;
+  ObjectiveVector objectives;        // price-scaled Eq. 22/23/26 split
+};
 
 struct WindowMetrics {
   std::size_t window = 0;
@@ -116,6 +142,11 @@ struct WindowMetrics {
   std::size_t retried = 0;   // queued VMs re-entering this window
   std::size_t permanently_rejected = 0;  // retry budget exhausted
   std::size_t retry_queue_depth = 0;     // after the window
+  // --- multi-cloud broker (empty/zero in single-cloud runs) ---
+  std::vector<ProviderWindowMetrics> providers;
+  std::size_t redirects = 0;  // cross-cloud redirections this window
+  std::size_t offline_providers = 0;  // dark clouds during the window
+  double cross_cloud_migration_cost = 0.0;  // egress-priced moves
   // --- graceful degradation ---
   DegradeLevel degrade = DegradeLevel::kNone;
   std::string fallback_algorithm;  // set when degrade == kFallback
@@ -136,6 +167,9 @@ struct SimSummary {
   std::size_t displaced_vms = 0;
   double migration_cost = 0.0;
   double downtime_cost = 0.0;
+  // Multi-cloud columns (zero for single-cloud traces).
+  std::size_t redirects = 0;
+  double cross_cloud_migration_cost = 0.0;
 };
 
 SimSummary summarize(const std::vector<WindowMetrics>& metrics);

@@ -1,0 +1,89 @@
+#include "workload/market_events.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace iaas {
+
+double shock_factor(const std::vector<PriceShock>& shocks, std::size_t w) {
+  double factor = 1.0;
+  for (const PriceShock& shock : shocks) {
+    if (shock.active(w)) {
+      factor *= shock.factor;
+    }
+  }
+  return factor;
+}
+
+SpotPriceSeries diurnal_spot_series(std::size_t windows, double mean,
+                                    double amplitude, std::size_t period,
+                                    double jitter, std::uint64_t seed) {
+  SpotPriceSeries series;
+  series.multipliers.reserve(windows);
+  Rng rng(seed);
+  const double two_pi = 2.0 * 3.14159265358979323846;
+  const auto cycle = static_cast<double>(period == 0 ? 1 : period);
+  for (std::size_t w = 0; w < windows; ++w) {
+    const double phase = two_pi * static_cast<double>(w) / cycle;
+    double value = mean + amplitude * std::sin(phase);
+    if (jitter > 0.0) {
+      value *= rng.uniform_real(1.0 - jitter, 1.0 + jitter);
+    }
+    series.multipliers.push_back(std::max(value, 1e-3));
+  }
+  return series;
+}
+
+std::vector<PriceShock> random_price_shocks(std::size_t windows, double rate,
+                                            double factor_min,
+                                            double factor_max,
+                                            std::size_t duration_min,
+                                            std::size_t duration_max,
+                                            std::uint64_t seed) {
+  std::vector<PriceShock> shocks;
+  Rng rng(seed);
+  const std::size_t lo = std::min(duration_min, duration_max);
+  const std::size_t hi = std::max(duration_min, duration_max);
+  for (std::size_t w = 0; w < windows; ++w) {
+    if (!rng.bernoulli(rate)) {
+      continue;
+    }
+    PriceShock shock;
+    shock.window = w;
+    shock.factor = rng.uniform_real(std::min(factor_min, factor_max),
+                                    std::max(factor_min, factor_max));
+    shock.duration = lo + static_cast<std::size_t>(rng.uniform_int(
+                              0, static_cast<std::int64_t>(hi - lo)));
+    shocks.push_back(shock);
+  }
+  return shocks;
+}
+
+std::vector<ProviderOutageScript> random_provider_outages(
+    std::size_t windows, std::uint32_t providers, double rate,
+    std::size_t duration_min, std::size_t duration_max,
+    double decommission_probability, std::uint64_t seed) {
+  std::vector<ProviderOutageScript> script;
+  Rng rng(seed);
+  const std::size_t lo = std::min(duration_min, duration_max);
+  const std::size_t hi = std::max(duration_min, duration_max);
+  for (std::size_t w = 0; w < windows; ++w) {
+    for (std::uint32_t p = 0; p < providers; ++p) {
+      if (!rng.bernoulli(rate)) {
+        continue;
+      }
+      ProviderOutageScript outage;
+      outage.window = w;
+      outage.provider = p;
+      outage.duration = lo + static_cast<std::size_t>(rng.uniform_int(
+                                 0, static_cast<std::int64_t>(hi - lo)));
+      outage.decommission = rng.bernoulli(decommission_probability);
+      script.push_back(outage);
+    }
+  }
+  return script;
+}
+
+}  // namespace iaas
