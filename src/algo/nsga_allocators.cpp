@@ -18,7 +18,9 @@ AllocationResult run_engine(const Instance& instance, std::uint64_t seed,
                             const std::string& algo_name,
                             const EaAllocatorOptions& options,
                             Engine& engine, bool export_front,
-                            const RepairFn& final_repair = nullptr) {
+                            const RepairFn& final_repair = nullptr,
+                            std::shared_ptr<const StateTables> tables =
+                                nullptr) {
   Stopwatch timer;
   typename Engine::Result ea_result = engine.run(seed);
 
@@ -33,7 +35,8 @@ AllocationResult run_engine(const Instance& instance, std::uint64_t seed,
   Placement placement(std::move(genes));
 
   if (options.post_tabu_search) {
-    TabuSearch search(instance, options.post_search, options.objectives);
+    TabuSearch search(instance, options.post_search, options.objectives,
+                      std::move(tables));
     Rng rng(seed ^ 0x7261626175u);  // independent polish stream
     placement = search.improve(placement, rng).best;
   }
@@ -76,7 +79,7 @@ AllocationResult Nsga2Allocator::allocate(const Instance& instance,
   AllocationProblem problem(instance, options_.objectives);
   Nsga2 engine(problem, unmodified(options_.nsga));
   return run_engine(instance, seed, name(), options_, engine,
-                    export_front_);
+                    export_front_, nullptr, problem.tables());
 }
 
 Nsga3Allocator::Nsga3Allocator(EaAllocatorOptions options)
@@ -87,7 +90,7 @@ AllocationResult Nsga3Allocator::allocate(const Instance& instance,
   AllocationProblem problem(instance, options_.objectives);
   Nsga3 engine(problem, unmodified(options_.nsga));
   return run_engine(instance, seed, name(), options_, engine,
-                    export_front_);
+                    export_front_, nullptr, problem.tables());
 }
 
 Nsga3CpAllocator::Nsga3CpAllocator(EaAllocatorOptions options)
@@ -113,7 +116,7 @@ AllocationResult Nsga3CpAllocator::allocate(const Instance& instance,
     final_repair.repair(genes, rng);
   };
   return run_engine(instance, seed, name(), options_, engine,
-                    export_front_, final_fn);
+                    export_front_, final_fn, problem.tables());
 }
 
 Nsga3TabuAllocator::Nsga3TabuAllocator(EaAllocatorOptions options)
@@ -122,7 +125,9 @@ Nsga3TabuAllocator::Nsga3TabuAllocator(EaAllocatorOptions options)
 AllocationResult Nsga3TabuAllocator::allocate(const Instance& instance,
                                               std::uint64_t seed) {
   AllocationProblem problem(instance, options_.objectives);
-  TabuRepair repair(instance, options_.tabu_repair);
+  // One SoA flattening serves the whole hybrid: the problem's pooled
+  // evaluators, the repairer's per-call states, and the post-search walk.
+  TabuRepair repair(instance, options_.tabu_repair, problem.tables());
   const RepairFn repair_fn = [&repair](std::vector<std::int32_t>& genes,
                                        Rng& rng) {
     repair.repair(genes, rng);
@@ -135,7 +140,7 @@ AllocationResult Nsga3TabuAllocator::allocate(const Instance& instance,
   };
   Nsga3 engine(problem, with_repair(options_.nsga), repair_fn, state_fn);
   return run_engine(instance, seed, name(), options_, engine,
-                    export_front_, repair_fn);
+                    export_front_, repair_fn, problem.tables());
 }
 
 }  // namespace iaas

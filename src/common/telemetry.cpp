@@ -14,6 +14,8 @@ const char* counter_name(Counter c) {
       return "state_rebuilds";
     case Counter::kDeltaMoves:
       return "delta_moves";
+    case Counter::kStateRebases:
+      return "state_rebases";
     case Counter::kRepairInvocations:
       return "repair_invocations";
     case Counter::kRepairedIndividuals:
@@ -121,7 +123,7 @@ const std::vector<std::string>& RunTrace::columns() {
   static const std::vector<std::string> kColumns = {
       "generation",       "evaluations",
       "full_rebuilds",    "delta_moves",
-      "repair_invocations", "repaired",
+      "rebases",          "repair_invocations", "repaired",
       "unrepairable",     "tabu_moves_tried",
       "tabu_moves_accepted", "front_size",
       "best_usage",       "best_downtime",
@@ -148,6 +150,7 @@ std::vector<std::string> RunTrace::row_values(const GenerationRow& row) {
       std::to_string(row.evaluations),
       std::to_string(row.full_rebuilds),
       std::to_string(row.delta_moves),
+      std::to_string(row.rebases),
       std::to_string(row.repair_invocations),
       std::to_string(row.repaired),
       std::to_string(row.unrepairable),

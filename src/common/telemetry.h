@@ -40,6 +40,7 @@ enum class Counter : std::size_t {
   kEvaluations,              // objective evaluations (any path)
   kStateRebuilds,            // full PlacementState rebuilds
   kDeltaMoves,               // incremental apply_move updates
+  kStateRebases,             // gene-diff rebase repositions (not rebuilds)
   kRepairInvocations,        // repair walks entered
   kRepairedIndividuals,      // entered infeasible, left feasible
   kUnrepairableIndividuals,  // left with violations after all passes
@@ -213,6 +214,7 @@ struct GenerationRow {
   std::size_t evaluations = 0;
   std::size_t full_rebuilds = 0;
   std::size_t delta_moves = 0;
+  std::size_t rebases = 0;
   std::size_t repair_invocations = 0;
   std::size_t repaired = 0;
   std::size_t unrepairable = 0;

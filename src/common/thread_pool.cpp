@@ -41,22 +41,34 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallel_for_slots(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
   if (begin >= end) {
     return;
   }
   const std::size_t total = end - begin;
-  // ~4 chunks per worker balances load without flooding the queue.
-  const std::size_t chunks = std::min(total, workers_.size() * 4);
-  const std::size_t chunk_size = (total + chunks - 1) / chunks;
+  // ~4 chunks per worker balances load without flooding the queue; an
+  // explicit grain wins when it asks for fatter chunks (tiny per-index
+  // bodies) — it never shrinks a chunk below the automatic size.
+  const std::size_t chunks =
+      std::max<std::size_t>(1, std::min(total, workers_.size() * 4));
+  const std::size_t chunk_size =
+      std::max(std::max<std::size_t>(grain, 1),
+               (total + chunks - 1) / chunks);
 
   std::atomic<std::size_t> next{begin};
+  std::atomic<std::size_t> next_slot{0};
   std::atomic<bool> aborted{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto drain = [&] {
+    // One slot per participating thread, claimed on entry and held for
+    // every chunk this participant drains.  At most size() participants
+    // exist (the caller stands in for one worker), so slot < size().
+    const std::size_t slot = next_slot.fetch_add(1);
     for (;;) {
       if (aborted.load(std::memory_order_relaxed)) {
         return;
@@ -68,7 +80,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       const std::size_t hi = std::min(lo + chunk_size, end);
       try {
         for (std::size_t i = lo; i < hi; ++i) {
-          fn(i);
+          fn(slot, i);
         }
       } catch (...) {
         {
@@ -98,6 +110,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (first_error) {
     std::rethrow_exception(first_error);
   }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  parallel_for_slots(
+      begin, end, [&fn](std::size_t, std::size_t i) { fn(i); }, grain);
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -154,6 +154,7 @@ void NsgaBase::absorb_stats(telemetry::GenerationRow& row,
   row.repair_invocations += stats.repairs;
   row.full_rebuilds += static_cast<std::size_t>(c[Counter::kStateRebuilds]);
   row.delta_moves += static_cast<std::size_t>(c[Counter::kDeltaMoves]);
+  row.rebases += static_cast<std::size_t>(c[Counter::kStateRebases]);
   row.repaired +=
       static_cast<std::size_t>(c[Counter::kRepairedIndividuals]);
   row.unrepairable +=
@@ -167,21 +168,27 @@ void NsgaBase::absorb_stats(telemetry::GenerationRow& row,
   row.seconds_evaluate += stats.seconds_evaluate;
 }
 
-void NsgaBase::repair_evaluate(Individual& ind, Rng& rng, TaskStats& stats) {
+void NsgaBase::repair_evaluate(Individual& ind, Rng& rng, TaskStats& stats,
+                               Arena& arena, bool rebase_from_current) {
   const bool tracing = config_.collect_trace;
   const bool do_repair =
       config_.constraint_mode == ConstraintMode::kRepair &&
       config_.repair_offspring;
   if (do_repair && state_repair_) {
-    // Fused path: one rebuild positions the state at the unrepaired
-    // placement; the repair walk keeps every accumulator current, so the
-    // state read-out after it IS the evaluation of the repaired genes.
-    AllocationProblem::EvaluatorLease lease(*problem_);
-    PlacementState& state = lease->state();
+    // Fused path: one rebuild (or, when the arena state already holds a
+    // placement this task produced, a gene-diff rebase) positions the
+    // state at the unrepaired placement; the repair walk keeps every
+    // accumulator current, so the state read-out after it IS the
+    // evaluation of the repaired genes.
+    PlacementState& state = arena.evaluator().state();
     {
       telemetry::ScopedTimer timer(tracing ? &stats.seconds_evaluate
                                            : nullptr);
-      state.rebuild(ind.genes);
+      if (rebase_from_current) {
+        state.rebase(ind.genes);
+      } else {
+        state.rebuild(ind.genes);
+      }
     }
     {
       telemetry::ScopedTimer timer(tracing ? &stats.seconds_repair
@@ -206,13 +213,22 @@ void NsgaBase::repair_evaluate(Individual& ind, Rng& rng, TaskStats& stats) {
     }
     telemetry::ScopedTimer timer(tracing ? &stats.seconds_evaluate
                                          : nullptr);
-    problem_->evaluate(ind);
+    // Same contract as AllocationProblem::evaluate, on the arena's
+    // evaluator — no per-call lease round-trip through the pool mutex.
+    IAAS_EXPECT(ind.genes.size() == problem_->gene_count(),
+                "individual gene count mismatch");
+    telemetry::count(telemetry::Counter::kEvaluations);
+    const Evaluation eval = arena.evaluator().evaluate_genes(ind.genes);
+    ind.objectives = eval.objectives.as_array();
+    ind.violations = eval.violations.total();
+    ind.evaluated = true;
   }
   ++stats.evaluations;
 }
 
 void NsgaBase::variation_task(const Population& parents, MatingTask& task,
-                              Individual* child_a, Individual* child_b) {
+                              Individual* child_a, Individual* child_b,
+                              Arena& arena) {
   const SbxParams sbx{config_.sbx_rate, config_.sbx_distribution_index, 0.5};
   const PmParams pm{config_.pm_rate, config_.pm_distribution_index};
   const std::int32_t max_gene = problem_->max_gene();
@@ -220,20 +236,26 @@ void NsgaBase::variation_task(const Population& parents, MatingTask& task,
 
   const Individual& parent_a = parents[task.parent_a];
   const Individual& parent_b = parents[task.parent_b];
-  std::vector<std::int32_t> genes_a = parent_a.genes;
-  std::vector<std::int32_t> genes_b = parent_b.genes;
   const bool tracing = config_.collect_trace;
-  // Paper Fig. 4: parents that "do not respect users constraints" pass
-  // through the repair before they are allowed to reproduce.
+  // Variation reads the parents' genes in place; only a parent that
+  // actually goes through repair (paper Fig. 4: parents that "do not
+  // respect users constraints") is copied first, into the arena's
+  // reusable buffer — feasible parents cost no copy at all.
+  const std::vector<std::int32_t>* genes_a = &parent_a.genes;
+  const std::vector<std::int32_t>* genes_b = &parent_b.genes;
   if (config_.constraint_mode == ConstraintMode::kRepair &&
       config_.repair_parents) {
     telemetry::ScopedTimer timer(tracing ? &task.stats.seconds_repair
                                          : nullptr);
     if (parent_a.violations > 0) {
-      repair_genes(genes_a, rng, task.stats);
+      arena.genes_a = parent_a.genes;
+      repair_genes(arena.genes_a, rng, task.stats);
+      genes_a = &arena.genes_a;
     }
     if (parent_b.violations > 0) {
-      repair_genes(genes_b, rng, task.stats);
+      arena.genes_b = parent_b.genes;
+      repair_genes(arena.genes_b, rng, task.stats);
+      genes_b = &arena.genes_b;
     }
   }
 
@@ -246,27 +268,35 @@ void NsgaBase::variation_task(const Population& parents, MatingTask& task,
   {
     telemetry::ScopedTimer timer(tracing ? &task.stats.seconds_variation
                                          : nullptr);
-    sbx_crossover(genes_a, genes_b, child_a->genes, second_genes, max_gene,
+    sbx_crossover(*genes_a, *genes_b, child_a->genes, second_genes, max_gene,
                   sbx, rng);
     polynomial_mutation(child_a->genes, max_gene, pm, rng);
     if (child_b != nullptr) {
       polynomial_mutation(child_b->genes, max_gene, pm, rng);
     }
   }
-  repair_evaluate(*child_a, rng, task.stats);
+  repair_evaluate(*child_a, rng, task.stats, arena);
   if (child_b != nullptr) {
-    repair_evaluate(*child_b, rng, task.stats);
+    // The arena state now holds the pair's repaired first child — a base
+    // that is a deterministic function of this task alone, so the second
+    // child may reposition it with a gene-diff rebase without breaking
+    // bit-identical results across thread counts.  In converged or
+    // warm-started populations the siblings share most genes and the
+    // rebase touches only a few servers.
+    repair_evaluate(*child_b, rng, task.stats, arena,
+                    /*rebase_from_current=*/true);
   }
 }
 
 void NsgaBase::run_tasks(ThreadPool* pool, std::size_t count,
-                         const std::function<void(std::size_t)>& fn) {
+                         const std::function<void(std::size_t, std::size_t)>&
+                             fn) {
   if (pool == nullptr || count < 2) {
     for (std::size_t i = 0; i < count; ++i) {
-      fn(i);
+      fn(0, i);
     }
   } else {
-    pool->parallel_for(0, count, fn);
+    pool->parallel_for_slots(0, count, fn, config_.task_grain);
   }
 }
 
@@ -274,6 +304,18 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
   Rng rng(seed);
   ThreadPool* pool = evaluation_pool();
   Stopwatch budget_timer;
+
+  // Thread-affine arenas: one evaluator lease (plus gene scratch) per
+  // pool slot, held for the whole run.  Every parallel phase below hands
+  // each participating thread a stable slot (parallel_for_slots), so a
+  // task reaches its scratch without locks and the evaluator free-list
+  // is visited twice per run instead of twice per offspring.
+  const std::size_t slot_count = pool != nullptr ? pool->size() : 1;
+  arenas_ = std::vector<Arena>(slot_count);
+  for (Arena& arena : arenas_) {
+    arena.lease.emplace(*problem_);
+  }
+
   Result result;
   const bool tracing = config_.collect_trace;
   result.trace.seed = seed;
@@ -327,10 +369,10 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
   {
     std::vector<TaskStats> stats(population.size());
     const Rng init_base = rng;
-    run_tasks(pool, population.size(), [&](std::size_t i) {
+    run_tasks(pool, population.size(), [&](std::size_t slot, std::size_t i) {
       telemetry::ScopedSink sink(stats[i].counters);
       Rng task_rng = init_base.child_stream(i);
-      repair_evaluate(population[i], task_rng, stats[i]);
+      repair_evaluate(population[i], task_rng, stats[i], arenas_[slot]);
     });
     telemetry::CounterBlock task_counters;
     for (const TaskStats& s : stats) {
@@ -402,12 +444,13 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
     // evaluation run as one fused task writing only offspring slots
     // 2p / 2p+1 — deterministic for any thread count.
     Population offspring(config_.population_size);
-    run_tasks(pool, pair_count, [&](std::size_t p) {
+    run_tasks(pool, pair_count, [&](std::size_t slot, std::size_t p) {
       telemetry::ScopedSink sink(tasks[p].stats.counters);
       Individual* child_b = 2 * p + 1 < offspring.size()
                                 ? &offspring[2 * p + 1]
                                 : nullptr;
-      variation_task(population, tasks[p], &offspring[2 * p], child_b);
+      variation_task(population, tasks[p], &offspring[2 * p], child_b,
+                     arenas_[slot]);
     });
     telemetry::CounterBlock task_counters;
     for (const MatingTask& task : tasks) {
@@ -460,6 +503,7 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
   if (archive) {
     result.archive = archive->members();
   }
+  arenas_.clear();  // return the leased evaluators to the problem pool
   return result;
 }
 

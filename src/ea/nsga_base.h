@@ -11,10 +11,13 @@
 // run's main RNG stream happens here, in a fixed order — and assigns each
 // pair a counter-derived child stream.  The parallel phase then fans each
 // pair out over the thread pool: crossover, mutation, parent/offspring
-// repair, and objective evaluation fused into one task.  Because a task
-// touches only its own offspring slots, its own RNG stream, and pooled
-// per-worker scratch, results are bit-identical for a given seed
-// regardless of config.threads.
+// repair, and objective evaluation fused into one task, dispatched in
+// chunks to thread-affine arenas (one evaluator lease + gene scratch per
+// pool slot, held for the whole run).  Because a task touches only its
+// own offspring slots, its own RNG stream, and its slot's arena — and
+// every cross-individual state reuse (the second child's gene-diff
+// rebase) stays within one task — results are bit-identical for a given
+// seed regardless of config.threads or config.task_grain.
 //
 // The ConstraintMode selects how strict constraints are honoured — the
 // four methods the paper enumerates (ignore/exclude/penalty/repair).
@@ -23,6 +26,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/telemetry.h"
@@ -126,17 +131,37 @@ class NsgaBase {
     TaskStats stats;
   };
 
-  // One fused task: copy + (conditionally) repair parents, SBX + PM,
-  // repair + evaluate the offspring.  `child_b` is null when the pair's
-  // second slot falls outside the offspring population (odd size).
+  // Thread-affine scratch: one per ThreadPool slot, acquired for the
+  // whole run (DESIGN.md §8).  The long-lived lease removes the
+  // per-offspring free-list round-trip; the gene buffers back the lazy
+  // parent-repair copies.  A slot's arena is only ever touched by the
+  // participant owning that slot (parallel_for_slots), so no locking.
+  struct Arena {
+    std::optional<AllocationProblem::EvaluatorLease> lease;
+    std::vector<std::int32_t> genes_a;  // parent-repair scratch
+    std::vector<std::int32_t> genes_b;
+
+    Evaluator& evaluator() { return **lease; }
+  };
+
+  // One fused task: (lazily copied + repaired) parents, SBX + PM, repair
+  // + evaluate the offspring.  `child_b` is null when the pair's second
+  // slot falls outside the offspring population (odd size).
   void variation_task(const Population& parents, MatingTask& task,
-                      Individual* child_a, Individual* child_b);
+                      Individual* child_a, Individual* child_b,
+                      Arena& arena);
 
   // Offspring/initial-individual treatment: repair (when the mode asks
   // for it) fused with evaluation.  With a StateRepairFn the repair
   // walk's PlacementState is read out directly as the evaluation;
-  // otherwise genes-based repair followed by a normal evaluation.
-  void repair_evaluate(Individual& ind, Rng& rng, TaskStats& stats);
+  // otherwise genes-based repair followed by a normal evaluation on the
+  // arena's evaluator.  `rebase_from_current` lets the fused path
+  // reposition the arena state with a gene-diff rebase instead of a full
+  // rebuild — only valid when the state's current placement is a
+  // deterministic function of this task (the pair's first repaired
+  // child), never across tasks.
+  void repair_evaluate(Individual& ind, Rng& rng, TaskStats& stats,
+                       Arena& arena, bool rebase_from_current = false);
 
   void repair_genes(std::vector<std::int32_t>& genes, Rng& rng,
                     TaskStats& stats);
@@ -149,9 +174,11 @@ class NsgaBase {
   static void absorb_stats(telemetry::GenerationRow& row,
                            const TaskStats& stats);
 
-  // Runs fn(0..count) serially or over the pool.
+  // Runs fn(slot, i) for i in 0..count serially (slot 0) or over the
+  // pool (parallel_for_slots with config_.task_grain); `slot` indexes
+  // arenas_.
   void run_tasks(ThreadPool* pool, std::size_t count,
-                 const std::function<void(std::size_t)>& fn);
+                 const std::function<void(std::size_t, std::size_t)>& fn);
 
   ThreadPool* evaluation_pool();
 
@@ -160,6 +187,8 @@ class NsgaBase {
   RepairFn repair_;
   StateRepairFn state_repair_;
   std::unique_ptr<ThreadPool> owned_pool_;
+  // Per-slot arenas, populated for the duration of one run().
+  std::vector<Arena> arenas_;
 };
 
 }  // namespace iaas

@@ -8,7 +8,9 @@ namespace iaas {
 
 AllocationProblem::AllocationProblem(const Instance& instance,
                                      ObjectiveOptions options)
-    : instance_(&instance), options_(options) {}
+    : instance_(&instance),
+      options_(options),
+      tables_(std::make_shared<const StateTables>(instance)) {}
 
 std::unique_ptr<Evaluator> AllocationProblem::acquire_evaluator() const {
   {
@@ -19,7 +21,7 @@ std::unique_ptr<Evaluator> AllocationProblem::acquire_evaluator() const {
       return evaluator;
     }
   }
-  return std::make_unique<Evaluator>(*instance_, options_);
+  return std::make_unique<Evaluator>(*instance_, options_, tables_);
 }
 
 void AllocationProblem::release_evaluator(

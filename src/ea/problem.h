@@ -26,6 +26,12 @@ class AllocationProblem {
   }
   [[nodiscard]] const Instance& instance() const { return *instance_; }
 
+  // Shared immutable SoA tables (model/placement_state.h); every pooled
+  // evaluator and caller-built repair state of this problem reuses them.
+  [[nodiscard]] const std::shared_ptr<const StateTables>& tables() const {
+    return tables_;
+  }
+
   // Warm-start genes: the previous window's placement with the
   // still-unplaced VMs randomised — seeding the population with the
   // incumbent is what lets the migration objective (Eq. 26) hold work in
@@ -73,6 +79,7 @@ class AllocationProblem {
 
   const Instance* instance_;
   ObjectiveOptions options_;
+  std::shared_ptr<const StateTables> tables_;
   mutable std::mutex pool_mutex_;
   mutable std::vector<std::unique_ptr<Evaluator>> evaluator_pool_;
 };

@@ -26,6 +26,7 @@ Json row_to_json(const telemetry::GenerationRow& row) {
   push(static_cast<double>(row.evaluations));
   push(static_cast<double>(row.full_rebuilds));
   push(static_cast<double>(row.delta_moves));
+  push(static_cast<double>(row.rebases));
   push(static_cast<double>(row.repair_invocations));
   push(static_cast<double>(row.repaired));
   push(static_cast<double>(row.unrepairable));
@@ -98,19 +99,20 @@ telemetry::RunTrace trace_from_json(const Json& json) {
     g.evaluations = as_size(row.at(1));
     g.full_rebuilds = as_size(row.at(2));
     g.delta_moves = as_size(row.at(3));
-    g.repair_invocations = as_size(row.at(4));
-    g.repaired = as_size(row.at(5));
-    g.unrepairable = as_size(row.at(6));
-    g.tabu_moves_tried = as_size(row.at(7));
-    g.tabu_moves_accepted = as_size(row.at(8));
-    g.front_size = as_size(row.at(9));
-    g.best_objectives = {row.at(10).as_number(), row.at(11).as_number(),
-                         row.at(12).as_number()};
-    g.seconds_tournament = row.at(13).as_number();
-    g.seconds_variation = row.at(14).as_number();
-    g.seconds_repair = row.at(15).as_number();
-    g.seconds_evaluate = row.at(16).as_number();
-    g.seconds_selection = row.at(17).as_number();
+    g.rebases = as_size(row.at(4));
+    g.repair_invocations = as_size(row.at(5));
+    g.repaired = as_size(row.at(6));
+    g.unrepairable = as_size(row.at(7));
+    g.tabu_moves_tried = as_size(row.at(8));
+    g.tabu_moves_accepted = as_size(row.at(9));
+    g.front_size = as_size(row.at(10));
+    g.best_objectives = {row.at(11).as_number(), row.at(12).as_number(),
+                         row.at(13).as_number()};
+    g.seconds_tournament = row.at(14).as_number();
+    g.seconds_variation = row.at(15).as_number();
+    g.seconds_repair = row.at(16).as_number();
+    g.seconds_evaluate = row.at(17).as_number();
+    g.seconds_selection = row.at(18).as_number();
     trace.rows.push_back(g);
   }
   return trace;

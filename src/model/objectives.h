@@ -25,7 +25,9 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
+#include <utility>
 
 #include "common/matrix.h"
 #include "model/constraint_checker.h"
@@ -49,8 +51,11 @@ struct Evaluation {
 // state() and PlacementState::try_move instead of repeated full calls.
 class Evaluator {
  public:
-  explicit Evaluator(const Instance& instance, ObjectiveOptions options = {})
-      : state_(instance, options) {}
+  // `tables` lets pooled evaluators share one immutable StateTables (the
+  // instance-derived SoA flattening) instead of rebuilding it per state.
+  explicit Evaluator(const Instance& instance, ObjectiveOptions options = {},
+                     std::shared_ptr<const StateTables> tables = nullptr)
+      : state_(instance, options, StateTracking::kFull, std::move(tables)) {}
 
   // Objectives + violations in one pass (loads are shared work).
   Evaluation evaluate(const Placement& placement) {

@@ -1,36 +1,101 @@
 #include "model/placement_state.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/telemetry.h"
 #include "model/load_model.h"
 
 namespace iaas {
 
+StateTables::StateTables(const Instance& instance)
+    : demand(instance.n(), instance.h()),
+      vm_qos_guarantee(instance.n(), 0.0),
+      vm_downtime_cost(instance.n(), 0.0),
+      vm_migration_cost(instance.n(), 0.0),
+      capacity(instance.m(), instance.h()),
+      effective_capacity(instance.m(), instance.h()),
+      max_load(instance.m(), instance.h()),
+      max_qos(instance.m(), instance.h()),
+      server_usage_cost(instance.m(), 0.0),
+      server_opex(instance.m(), 0.0),
+      constraint_offsets(instance.n() + 1, 0) {
+  const std::size_t n = instance.n();
+  const std::size_t m = instance.m();
+  const std::size_t h = instance.h();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const VmRequest& vm = instance.requests.vms[k];
+    std::span<double> row = demand.row(k);
+    for (std::size_t l = 0; l < h; ++l) {
+      row[l] = vm.demand[l];
+    }
+    vm_qos_guarantee[k] = vm.qos_guarantee;
+    vm_downtime_cost[k] = vm.downtime_cost;
+    vm_migration_cost[k] = vm.migration_cost;
+  }
+
+  for (std::size_t j = 0; j < m; ++j) {
+    const Server& server = instance.infra.server(j);
+    std::span<double> cap = capacity.row(j);
+    std::span<double> ecap = effective_capacity.row(j);
+    std::span<double> ml = max_load.row(j);
+    std::span<double> mq = max_qos.row(j);
+    for (std::size_t l = 0; l < h; ++l) {
+      cap[l] = server.capacity[l];
+      ecap[l] = server.effective_capacity(l);
+      ml[l] = server.max_load[l];
+      mq[l] = server.max_qos[l];
+    }
+    server_usage_cost[j] = server.usage_cost;
+    server_opex[j] = server.opex;
+  }
+
+  // VM -> constraint CSR: count, prefix-sum, fill.
+  const auto& constraints = instance.requests.constraints;
+  for (const auto& constraint : constraints) {
+    for (std::uint32_t k : constraint.vms) {
+      ++constraint_offsets[k + 1];
+    }
+  }
+  std::partial_sum(constraint_offsets.begin(), constraint_offsets.end(),
+                   constraint_offsets.begin());
+  constraint_ids.resize(constraint_offsets[n]);
+  std::vector<std::uint32_t> cursor(constraint_offsets.begin(),
+                                    constraint_offsets.end() - 1);
+  for (std::size_t c = 0; c < constraints.size(); ++c) {
+    for (std::uint32_t k : constraints[c].vms) {
+      constraint_ids[cursor[k]++] = static_cast<std::uint32_t>(c);
+    }
+  }
+}
+
 PlacementState::PlacementState(const Instance& instance,
                                ObjectiveOptions options,
-                               StateTracking tracking)
+                               StateTracking tracking,
+                               std::shared_ptr<const StateTables> tables)
     : instance_(&instance),
       options_(options),
       tracking_(tracking),
       checker_(instance),
+      tables_(tables ? std::move(tables)
+                     : std::make_shared<const StateTables>(instance)),
       placement_(instance.n()),
       used_(instance.m(), instance.h()),
-      loads_(instance.m(), instance.h()),
-      qos_(instance.m(), instance.h()),
-      vms_on_(instance.m()),
-      pos_in_server_(instance.n(), 0),
-      server_usage_(instance.m(), 0.0),
-      server_downtime_(instance.m(), 0.0),
+      server_head_(instance.m(), kNoVm),
+      server_tail_(instance.m(), kNoVm),
+      server_count_(instance.m(), 0),
+      vm_next_(instance.n(), kNoVm),
+      vm_prev_(instance.n(), kNoVm),
+      server_cost_(2 * instance.m(), 0.0),
       overload_count_(instance.m(), 0),
       relation_ok_(instance.requests.constraints.size(), 1),
-      constraints_of_vm_(instance.n()),
-      scratch_row_(instance.h(), 0.0) {
-  const auto& constraints = instance.requests.constraints;
-  for (std::size_t c = 0; c < constraints.size(); ++c) {
-    for (std::uint32_t k : constraints[c].vms) {
-      constraints_of_vm_[k].push_back(static_cast<std::uint32_t>(c));
-    }
+      scratch_row_(instance.h(), 0.0),
+      server_epoch_(instance.m(), 0),
+      constraint_epoch_(instance.requests.constraints.size(), 0) {
+  if (tracking_ == StateTracking::kFull) {
+    loads_ = Matrix<double>(instance.m(), instance.h());
+    qos_ = Matrix<double>(instance.m(), instance.h());
   }
   rebuild_from_placement();
 }
@@ -55,12 +120,11 @@ void PlacementState::rebuild(const Placement& placement) {
 void PlacementState::rebuild_from_placement() {
   const Instance& inst = *instance_;
   const std::size_t m = inst.m();
-  const std::size_t h = inst.h();
 
   used_.fill(0.0);
-  for (auto& list : vms_on_) {
-    list.clear();
-  }
+  std::fill(server_head_.begin(), server_head_.end(), kNoVm);
+  std::fill(server_tail_.begin(), server_tail_.end(), kNoVm);
+  std::fill(server_count_.begin(), server_count_.end(), 0u);
   rejected_count_ = 0;
   total_migration_ = 0.0;
   for (std::size_t k = 0; k < inst.n(); ++k) {
@@ -70,12 +134,7 @@ void PlacementState::rebuild_from_placement() {
     }
     const auto j = static_cast<std::size_t>(placement_.server_of(k));
     IAAS_DEBUG_EXPECT(j < m, "placement references unknown server");
-    const VmRequest& vm = inst.requests.vms[k];
-    for (std::size_t l = 0; l < h; ++l) {
-      used_(j, l) += vm.demand[l];
-    }
-    pos_in_server_[k] = static_cast<std::uint32_t>(vms_on_[j].size());
-    vms_on_[j].push_back(static_cast<std::uint32_t>(k));
+    attach_vm(k, j);
     if (tracking_ == StateTracking::kFull) {
       total_migration_ += migration_of(k, placement_.server_of(k));
     }
@@ -84,8 +143,7 @@ void PlacementState::rebuild_from_placement() {
   total_usage_ = 0.0;
   total_downtime_ = 0.0;
   capacity_violations_ = 0;
-  std::fill(server_usage_.begin(), server_usage_.end(), 0.0);
-  std::fill(server_downtime_.begin(), server_downtime_.end(), 0.0);
+  std::fill(server_cost_.begin(), server_cost_.end(), 0.0);
   std::fill(overload_count_.begin(), overload_count_.end(), 0u);
   for (std::size_t j = 0; j < m; ++j) {
     refresh_server(j);
@@ -105,17 +163,175 @@ void PlacementState::rebuild_from_placement() {
   undo_.clear();
 }
 
+std::size_t PlacementState::rebase(std::span<const std::int32_t> genes) {
+  IAAS_EXPECT(genes.size() == instance_->n(),
+              "placement size mismatch with instance");
+  const std::size_t n = instance_->n();
+  const std::vector<std::int32_t>& cur = placement_.genes();
+  std::size_t diff = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    diff += cur[k] != genes[k] ? 1 : 0;
+  }
+  if (diff == 0) {
+    pending_.reset();
+    undo_.clear();
+    return 0;
+  }
+  // Past ~a quarter of the genes the per-diff bookkeeping (list edits,
+  // touched-server refreshes, constraint rechecks) stops beating one
+  // linear rebuild; fall back.
+  if (diff * 4 > n) {
+    rebuild(genes);
+    return diff;
+  }
+  telemetry::count(telemetry::Counter::kStateRebases);
+
+  if (++epoch_ == 0) {  // wrapped: every stale mark must be invalidated
+    std::fill(server_epoch_.begin(), server_epoch_.end(), 0u);
+    std::fill(constraint_epoch_.begin(), constraint_epoch_.end(), 0u);
+    epoch_ = 1;
+  }
+  touched_servers_.clear();
+  touched_constraints_.clear();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::int32_t from = placement_.server_of(k);
+    const std::int32_t to = genes[k];
+    if (from == to) {
+      continue;
+    }
+    if (tracking_ == StateTracking::kFull) {
+      total_migration_ += migration_of(k, to) - migration_of(k, from);
+    }
+    if (from >= 0) {
+      detach_vm(k, static_cast<std::size_t>(from));
+      touch_server(static_cast<std::uint32_t>(from));
+    } else {
+      --rejected_count_;
+    }
+    placement_.assign(k, to);
+    if (to >= 0) {
+      attach_vm(k, static_cast<std::size_t>(to));
+      touch_server(static_cast<std::uint32_t>(to));
+    } else {
+      ++rejected_count_;
+    }
+    for (std::uint32_t c : tables_->constraints_of(k)) {
+      touch_constraint(c);
+    }
+  }
+
+  for (std::uint32_t j : touched_servers_) {
+    refresh_server(j);
+  }
+  const auto& constraints = instance_->requests.constraints;
+  for (std::uint32_t c : touched_constraints_) {
+    const bool ok = checker_.relation_satisfied(constraints[c], placement_);
+    if (ok && relation_ok_[c] == 0) {
+      --relation_violations_;
+    } else if (!ok && relation_ok_[c] != 0) {
+      ++relation_violations_;
+    }
+    relation_ok_[c] = ok ? 1 : 0;
+  }
+
+  pending_.reset();
+  undo_.clear();
+  return diff;
+}
+
+void PlacementState::assign_from(const PlacementState& other) {
+  IAAS_EXPECT(instance_ == other.instance_,
+              "assign_from across different instances");
+  IAAS_EXPECT(tracking_ == other.tracking_,
+              "assign_from across tracking modes");
+  options_ = other.options_;
+  placement_ = other.placement_;
+  used_ = other.used_;
+  loads_ = other.loads_;
+  qos_ = other.qos_;
+  server_head_ = other.server_head_;
+  server_tail_ = other.server_tail_;
+  server_count_ = other.server_count_;
+  vm_next_ = other.vm_next_;
+  vm_prev_ = other.vm_prev_;
+  server_cost_ = other.server_cost_;
+  overload_count_ = other.overload_count_;
+  total_usage_ = other.total_usage_;
+  total_downtime_ = other.total_downtime_;
+  total_migration_ = other.total_migration_;
+  relation_ok_ = other.relation_ok_;
+  capacity_violations_ = other.capacity_violations_;
+  relation_violations_ = other.relation_violations_;
+  rejected_count_ = other.rejected_count_;
+  pending_.reset();
+  undo_.clear();
+}
+
+void PlacementState::detach_vm(std::size_t k, std::size_t j) {
+  const std::uint32_t next = vm_next_[k];
+  const std::uint32_t prev = vm_prev_[k];
+  if (prev == kNoVm) {
+    server_head_[j] = next;
+  } else {
+    vm_next_[prev] = next;
+  }
+  if (next == kNoVm) {
+    server_tail_[j] = prev;
+  } else {
+    vm_prev_[next] = prev;
+  }
+  --server_count_[j];
+  const std::span<const double> demand = tables_->demand.row(k);
+  const std::span<double> used = used_.row(j);
+  for (std::size_t l = 0; l < demand.size(); ++l) {
+    used[l] -= demand[l];
+  }
+}
+
+void PlacementState::attach_vm(std::size_t k, std::size_t j) {
+  const std::uint32_t tail = server_tail_[j];
+  vm_prev_[k] = tail;
+  vm_next_[k] = kNoVm;
+  if (tail == kNoVm) {
+    server_head_[j] = static_cast<std::uint32_t>(k);
+  } else {
+    vm_next_[tail] = static_cast<std::uint32_t>(k);
+  }
+  server_tail_[j] = static_cast<std::uint32_t>(k);
+  ++server_count_[j];
+  const std::span<const double> demand = tables_->demand.row(k);
+  const std::span<double> used = used_.row(j);
+  for (std::size_t l = 0; l < demand.size(); ++l) {
+    used[l] += demand[l];
+  }
+}
+
+void PlacementState::touch_server(std::uint32_t j) {
+  if (server_epoch_[j] != epoch_) {
+    server_epoch_[j] = epoch_;
+    touched_servers_.push_back(j);
+  }
+}
+
+void PlacementState::touch_constraint(std::uint32_t c) {
+  if (constraint_epoch_[c] != epoch_) {
+    constraint_epoch_[c] = epoch_;
+    touched_constraints_.push_back(c);
+  }
+}
+
 double PlacementState::usage_of(std::size_t j, std::size_t vm_count) const {
   if (vm_count == 0) {
     return 0.0;
   }
-  const Server& server = instance_->infra.server(j);
+  const StateTables& t = *tables_;
   const double count = static_cast<double>(vm_count);
-  double usage = count * server.usage_cost;
+  double usage = count * t.server_usage_cost[j];
   if (options_.opex_per_vm) {
-    usage += count * server.opex;
+    usage += count * t.server_opex[j];
   } else {
-    usage += server.opex;
+    usage += t.server_opex[j];
   }
   return usage;
 }
@@ -138,29 +354,28 @@ double PlacementState::migration_of(std::size_t k,
     weight =
         static_cast<double>(inst.infra.fabric().hop_distance(from, to)) / 6.0;
   }
-  return inst.requests.vms[k].migration_cost * weight;
+  return tables_->vm_migration_cost[k] * weight;
 }
 
 double PlacementState::downtime_penalty(std::size_t k,
                                         double worst_qos) const {
-  const VmRequest& vm = instance_->requests.vms[k];
-  if (worst_qos >= vm.qos_guarantee) {
+  const double guarantee = tables_->vm_qos_guarantee[k];
+  if (worst_qos >= guarantee) {
     return 0.0;
   }
-  return vm.downtime_cost * (1.0 - worst_qos / vm.qos_guarantee);
+  return tables_->vm_downtime_cost[k] * (1.0 - worst_qos / guarantee);
 }
 
 void PlacementState::refresh_server(std::size_t j) {
-  const Instance& inst = *instance_;
-  const std::size_t h = inst.h();
-  const Server& server = inst.infra.server(j);
+  const StateTables& t = *tables_;
+  const std::size_t h = instance_->h();
+  const std::span<const double> used = used_.row(j);
+  const std::span<const double> ecap = t.effective_capacity.row(j);
 
   if (tracking_ == StateTracking::kViolationsOnly) {
     std::uint32_t overloads = 0;
     for (std::size_t l = 0; l < h; ++l) {
-      if (used_(j, l) > server.effective_capacity(l) + kCapacityEps) {
-        ++overloads;
-      }
+      overloads += used[l] > ecap[l] + kCapacityEps ? 1u : 0u;
     }
     capacity_violations_ =
         capacity_violations_ - overload_count_[j] + overloads;
@@ -168,59 +383,65 @@ void PlacementState::refresh_server(std::size_t j) {
     return;
   }
 
+  // Contiguous row spans; every per-attribute quantity of server j sits in
+  // one cache-line run per table.
+  const std::span<const double> cap = t.capacity.row(j);
+  const std::span<const double> max_load = t.max_load.row(j);
+  const std::span<const double> max_qos = t.max_qos.row(j);
+  const std::span<double> loads = loads_.row(j);
+  const std::span<double> qos = qos_.row(j);
   double worst_qos = 1.0;
   std::uint32_t overloads = 0;
   for (std::size_t l = 0; l < h; ++l) {
-    loads_(j, l) = used_(j, l) / server.capacity[l];
-    qos_(j, l) = qos_at_load(loads_(j, l), server.max_load[l],
-                             server.max_qos[l]);
-    worst_qos = std::min(worst_qos, qos_(j, l));
-    if (used_(j, l) > server.effective_capacity(l) + kCapacityEps) {
-      ++overloads;
-    }
+    loads[l] = used[l] / cap[l];
+    qos[l] = qos_at_load(loads[l], max_load[l], max_qos[l]);
+    worst_qos = std::min(worst_qos, qos[l]);
+    overloads += used[l] > ecap[l] + kCapacityEps ? 1u : 0u;
   }
 
   double downtime = 0.0;
-  for (std::uint32_t k : vms_on_[j]) {
+  for (std::uint32_t k = server_head_[j]; k != kNoVm; k = vm_next_[k]) {
     downtime += downtime_penalty(k, worst_qos);
   }
-  const double usage = usage_of(j, vms_on_[j].size());
+  const double usage = usage_of(j, server_count_[j]);
 
-  total_usage_ += usage - server_usage_[j];
-  total_downtime_ += downtime - server_downtime_[j];
+  total_usage_ += usage - usage_acc(j);
+  total_downtime_ += downtime - downtime_acc(j);
   capacity_violations_ =
       capacity_violations_ - overload_count_[j] + overloads;
-  server_usage_[j] = usage;
-  server_downtime_[j] = downtime;
+  usage_acc(j) = usage;
+  downtime_acc(j) = downtime;
   overload_count_[j] = overloads;
 }
 
 PlacementState::ServerEdit PlacementState::edit_server(
     std::size_t j, std::size_t k, bool joining,
     std::span<const double> row) const {
-  const Instance& inst = *instance_;
-  const std::size_t h = inst.h();
-  const Server& server = inst.infra.server(j);
+  const StateTables& t = *tables_;
+  const std::size_t h = instance_->h();
+  const std::span<const double> cap = t.capacity.row(j);
+  const std::span<const double> ecap = t.effective_capacity.row(j);
+  const std::span<const double> max_load = t.max_load.row(j);
+  const std::span<const double> max_qos = t.max_qos.row(j);
 
   ServerEdit edit;
   double worst_qos = 1.0;
   for (std::size_t l = 0; l < h; ++l) {
-    const double load = row[l] / server.capacity[l];
-    worst_qos = std::min(
-        worst_qos, qos_at_load(load, server.max_load[l], server.max_qos[l]));
-    if (row[l] > server.effective_capacity(l) + kCapacityEps) {
-      ++edit.overloads;
-    }
+    const double load = row[l] / cap[l];
+    worst_qos =
+        std::min(worst_qos, qos_at_load(load, max_load[l], max_qos[l]));
+    edit.overloads += row[l] > ecap[l] + kCapacityEps ? 1u : 0u;
   }
 
-  std::size_t count = vms_on_[j].size();
+  std::size_t count = server_count_[j];
   if (joining) {
     edit.downtime += downtime_penalty(k, worst_qos);
     ++count;
   } else {
     --count;
   }
-  for (std::uint32_t member : vms_on_[j]) {
+  for (std::uint32_t member = server_head_[j]; member != kNoVm;
+       member = vm_next_[member]) {
     if (!joining && member == k) {
       continue;
     }
@@ -244,7 +465,7 @@ ObjectiveDelta PlacementState::try_move(std::size_t k, std::int32_t target) {
   if (from == target) {
     return delta;
   }
-  const VmRequest& vm = inst.requests.vms[k];
+  const std::span<const double> demand = tables_->demand.row(k);
 
   double usage_delta = 0.0;
   double downtime_delta = 0.0;
@@ -258,14 +479,14 @@ ObjectiveDelta PlacementState::try_move(std::size_t k, std::int32_t target) {
         continue;
       }
       const auto j = static_cast<std::size_t>(side);
-      const Server& server = inst.infra.server(j);
+      const std::span<const double> used = used_.row(j);
+      const std::span<const double> ecap =
+          tables_->effective_capacity.row(j);
       const double sign = side == from ? -1.0 : 1.0;
       std::uint32_t overloads = 0;
       for (std::size_t l = 0; l < h; ++l) {
-        if (used_(j, l) + sign * vm.demand[l] >
-            server.effective_capacity(l) + kCapacityEps) {
-          ++overloads;
-        }
+        overloads +=
+            used[l] + sign * demand[l] > ecap[l] + kCapacityEps ? 1u : 0u;
       }
       capacity_delta += static_cast<std::int32_t>(overloads) -
                         static_cast<std::int32_t>(overload_count_[j]);
@@ -273,25 +494,27 @@ ObjectiveDelta PlacementState::try_move(std::size_t k, std::int32_t target) {
   } else {
     if (from >= 0) {
       const auto a = static_cast<std::size_t>(from);
+      const std::span<const double> used = used_.row(a);
       for (std::size_t l = 0; l < h; ++l) {
-        scratch_row_[l] = used_(a, l) - vm.demand[l];
+        scratch_row_[l] = used[l] - demand[l];
       }
       const ServerEdit edit =
           edit_server(a, k, /*joining=*/false, scratch_row_);
-      usage_delta += edit.usage - server_usage_[a];
-      downtime_delta += edit.downtime - server_downtime_[a];
+      usage_delta += edit.usage - usage_acc(a);
+      downtime_delta += edit.downtime - downtime_acc(a);
       capacity_delta += static_cast<std::int32_t>(edit.overloads) -
                         static_cast<std::int32_t>(overload_count_[a]);
     }
     if (target >= 0) {
       const auto b = static_cast<std::size_t>(target);
+      const std::span<const double> used = used_.row(b);
       for (std::size_t l = 0; l < h; ++l) {
-        scratch_row_[l] = used_(b, l) + vm.demand[l];
+        scratch_row_[l] = used[l] + demand[l];
       }
       const ServerEdit edit =
           edit_server(b, k, /*joining=*/true, scratch_row_);
-      usage_delta += edit.usage - server_usage_[b];
-      downtime_delta += edit.downtime - server_downtime_[b];
+      usage_delta += edit.usage - usage_acc(b);
+      downtime_delta += edit.downtime - downtime_acc(b);
       capacity_delta += static_cast<std::int32_t>(edit.overloads) -
                         static_cast<std::int32_t>(overload_count_[b]);
     }
@@ -299,12 +522,13 @@ ObjectiveDelta PlacementState::try_move(std::size_t k, std::int32_t target) {
   }
 
   std::int32_t relation_delta = 0;
-  if (!constraints_of_vm_[k].empty()) {
+  const std::span<const std::uint32_t> mentions = tables_->constraints_of(k);
+  if (!mentions.empty()) {
     // Evaluate k's constraints against the hypothetical placement; the
     // temporary assignment is restored before returning.
     placement_.assign(k, target);
     const auto& constraints = inst.requests.constraints;
-    for (std::uint32_t c : constraints_of_vm_[k]) {
+    for (std::uint32_t c : mentions) {
       const bool ok = checker_.relation_satisfied(constraints[c], placement_);
       relation_delta += (ok ? 0 : 1) - (relation_ok_[c] != 0 ? 0 : 1);
     }
@@ -320,39 +544,23 @@ ObjectiveDelta PlacementState::try_move(std::size_t k, std::int32_t target) {
 }
 
 void PlacementState::do_move(std::size_t k, std::int32_t target) {
-  const Instance& inst = *instance_;
-  const std::size_t h = inst.h();
   const std::int32_t from = placement_.server_of(k);
   if (from == target) {
     return;
   }
-  const VmRequest& vm = inst.requests.vms[k];
 
   if (tracking_ == StateTracking::kFull) {
     total_migration_ += migration_of(k, target) - migration_of(k, from);
   }
 
   if (from >= 0) {
-    const auto a = static_cast<std::size_t>(from);
-    std::vector<std::uint32_t>& list = vms_on_[a];
-    const std::uint32_t pos = pos_in_server_[k];
-    list[pos] = list.back();
-    pos_in_server_[list[pos]] = pos;
-    list.pop_back();
-    for (std::size_t l = 0; l < h; ++l) {
-      used_(a, l) -= vm.demand[l];
-    }
+    detach_vm(k, static_cast<std::size_t>(from));
   } else {
     --rejected_count_;
   }
   placement_.assign(k, target);
   if (target >= 0) {
-    const auto b = static_cast<std::size_t>(target);
-    pos_in_server_[k] = static_cast<std::uint32_t>(vms_on_[b].size());
-    vms_on_[b].push_back(static_cast<std::uint32_t>(k));
-    for (std::size_t l = 0; l < h; ++l) {
-      used_(b, l) += vm.demand[l];
-    }
+    attach_vm(k, static_cast<std::size_t>(target));
   } else {
     ++rejected_count_;
   }
@@ -364,8 +572,8 @@ void PlacementState::do_move(std::size_t k, std::int32_t target) {
     refresh_server(static_cast<std::size_t>(target));
   }
 
-  const auto& constraints = inst.requests.constraints;
-  for (std::uint32_t c : constraints_of_vm_[k]) {
+  const auto& constraints = instance_->requests.constraints;
+  for (std::uint32_t c : tables_->constraints_of(k)) {
     const bool ok = checker_.relation_satisfied(constraints[c], placement_);
     if (ok && relation_ok_[c] == 0) {
       --relation_violations_;

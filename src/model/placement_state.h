@@ -3,11 +3,11 @@
 // A PlacementState owns one placement plus every accumulator needed to
 // produce its objectives (Eqs. 22-26) and violation counts (Eqs. 16-21):
 // per-server allocated demand, normalised loads and QoS, per-server usage
-// and downtime cost terms, the per-server VM lists, the per-constraint
-// satisfied flags, and the three objective totals.  Invariants (see
-// DESIGN.md §7): after construction, rebuild(), or any apply/revert, all
-// accumulators equal what a from-scratch Evaluator::evaluate of the same
-// placement would produce.
+// and downtime cost terms, the per-server VM membership lists, the
+// per-constraint satisfied flags, and the three objective totals.
+// Invariants (see DESIGN.md §7): after construction, rebuild(), rebase(),
+// assign_from(), or any apply/revert, all accumulators equal what a
+// from-scratch Evaluator::evaluate of the same placement would produce.
 //
 // Relocating VM k from server a to server b only changes rows a and b of
 // every per-server quantity, the constraints that mention k, and k's own
@@ -17,15 +17,34 @@
 // placement literature (move-based neighbourhoods with incremental
 // objective bookkeeping) applied to the paper's tabu + NSGA-III stack.
 //
+// Memory layout (DESIGN.md §7): structure-of-arrays throughout.  All
+// instance-derived inputs the hot loops read (per-VM demand rows and cost
+// scalars, per-server capacity/knee/QoS rows and cost scalars, the
+// VM→constraint adjacency) live in an immutable StateTables, flattened
+// into contiguous matrices, scalar arrays, and a CSR index — shareable
+// between every state built against the same Instance, so an evaluator
+// pool pays the flattening once.  The mutable side is equally flat:
+// per-server membership is an intrusive doubly-linked list over three
+// plain arrays (head/next/prev) with O(1) attach/detach and no per-server
+// heap vectors, and the per-server cost accumulators are striped into one
+// contiguous buffer.  A state is therefore copyable with a handful of
+// memcpy-sized vector assignments (assign_from), and the per-attribute
+// hot loops in refresh_server/edit_server run over contiguous row spans.
+//
 // The invariant also powers the fused repair-as-evaluation pipeline
 // (DESIGN.md §8): TabuRepair::repair_state walks a full-tracking state
-// rebuilt to an offspring's genes, and the NSGA engine reads the
+// positioned at an offspring's genes, and the NSGA engine reads the
 // objectives and violation counts straight out of the accumulators
 // afterwards — the repair's own bookkeeping IS the evaluation, no
-// post-repair rebuild.
+// post-repair rebuild.  rebase() extends this: an offspring task
+// repositions its thread-affine state with a gene-diff (touching only the
+// servers and constraints the diff affects) instead of paying a full
+// rebuild per individual.
 #pragma once
 
 #include <cstdint>
+#include <iterator>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -38,13 +57,46 @@
 
 namespace iaas {
 
+// Immutable, instance-derived SoA tables: everything the delta engine's
+// hot loops read, flattened out of the AoS Server/VmRequest structs and
+// the per-VM constraint lists.  Built once per Instance and shared (by
+// shared_ptr) across every PlacementState/Evaluator of that instance —
+// the pooled-evaluator and arena paths construct states without re-doing
+// the O(n·h + m·h + constraints) flattening.
+struct StateTables {
+  explicit StateTables(const Instance& instance);
+
+  Matrix<double> demand;                    // n×h: C_kl rows
+  std::vector<double> vm_qos_guarantee;     // n: C^Q_k
+  std::vector<double> vm_downtime_cost;     // n: C^U_k
+  std::vector<double> vm_migration_cost;    // n: M_k
+
+  Matrix<double> capacity;                  // m×h: P_jl
+  Matrix<double> effective_capacity;        // m×h: P_jl * F_jl
+  Matrix<double> max_load;                  // m×h: L^M_jl
+  Matrix<double> max_qos;                   // m×h: Q^M_jl
+  std::vector<double> server_usage_cost;    // m: U_j
+  std::vector<double> server_opex;          // m: E_j
+
+  // CSR adjacency: constraint ids mentioning VM k are
+  // constraint_ids[constraint_offsets[k] .. constraint_offsets[k+1]).
+  std::vector<std::uint32_t> constraint_offsets;  // n+1
+  std::vector<std::uint32_t> constraint_ids;      // flat
+
+  [[nodiscard]] std::span<const std::uint32_t> constraints_of(
+      std::size_t k) const {
+    return {constraint_ids.data() + constraint_offsets[k],
+            constraint_offsets[k + 1] - constraint_offsets[k]};
+  }
+};
+
 // What a PlacementState keeps current.  kViolationsOnly maintains just the
 // demand accumulators and violation counters — the repair operators need
 // nothing else, and skipping the per-move QoS/downtime/usage refresh (an
 // exp() per attribute per affected server) keeps repair as cheap as the
 // capacity-only bookkeeping it replaced.  In that mode loads(), qos(),
 // objectives(), aggregate() and the objective fields of try_move results
-// are unspecified.
+// are unspecified (and the loads/qos matrices are not even allocated).
 enum class StateTracking { kFull, kViolationsOnly };
 
 // Outcome of scoring one candidate relocation.
@@ -59,14 +111,34 @@ struct ObjectiveDelta {
 
 class PlacementState {
  public:
+  // Sentinel terminating the intrusive per-server membership lists.
+  static constexpr std::uint32_t kNoVm = 0xFFFFFFFFu;
+
+  // `tables` may be shared across states of the same instance; when null,
+  // the state builds (and owns) its own.
   explicit PlacementState(const Instance& instance,
                           ObjectiveOptions options = {},
-                          StateTracking tracking = StateTracking::kFull);
+                          StateTracking tracking = StateTracking::kFull,
+                          std::shared_ptr<const StateTables> tables = nullptr);
 
-  // Full O(n + m·h + constraints) rebuild — the only non-incremental
-  // path; every other member keeps the accumulators in sync.
+  // Full O(n + m·h + constraints) rebuild — the non-incremental
+  // repositioning path; every other member keeps the accumulators in
+  // sync.
   void rebuild(std::span<const std::int32_t> genes);
   void rebuild(const Placement& placement);
+
+  // Gene-diff repositioning: moves the state to `genes` by editing only
+  // the servers and constraints the diff touches —
+  // O(diff·h + |affected servers|·(h + members) + |affected constraints|)
+  // instead of a full rebuild.  Falls back to rebuild() internally when
+  // the diff is too large to pay off.  Like rebuild(), clears the
+  // pending/undo history.  Returns the number of differing genes.
+  std::size_t rebase(std::span<const std::int32_t> genes);
+
+  // Becomes a copy of `other` (same instance, options, and tracking mode)
+  // without rebuilding: a handful of flat vector assignments, no
+  // allocation after first use.  The pending/undo history is not copied.
+  void assign_from(const PlacementState& other);
 
   // Scores relocating VM k to `target` (server id or Placement::kRejected)
   // without changing the observable state; the move becomes "pending" so a
@@ -78,7 +150,7 @@ class PlacementState {
   // Commits an arbitrary move directly (try_move is not required first).
   void apply_move(std::size_t k, std::int32_t target);
   // Undoes applied moves in LIFO order (any depth, back to the last
-  // rebuild).
+  // rebuild/rebase).
   void revert();
   [[nodiscard]] std::size_t applied_moves() const { return undo_.size(); }
 
@@ -119,13 +191,68 @@ class PlacementState {
   [[nodiscard]] const Matrix<double>& used() const { return used_; }
   [[nodiscard]] const Matrix<double>& loads() const { return loads_; }
   [[nodiscard]] const Matrix<double>& qos() const { return qos_; }
-  [[nodiscard]] std::span<const std::uint32_t> vms_on(std::size_t j) const {
-    return vms_on_[j];
+
+  // Forward iteration over the VMs hosted on one server (the intrusive
+  // list; order is maintenance order, deterministic for a fixed operation
+  // sequence but unspecified beyond that).
+  class MemberIterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::uint32_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const std::uint32_t*;
+    using reference = std::uint32_t;
+    MemberIterator() = default;
+    MemberIterator(const std::uint32_t* next, std::uint32_t current)
+        : next_(next), current_(current) {}
+    std::uint32_t operator*() const { return current_; }
+    MemberIterator& operator++() {
+      current_ = next_[current_];
+      return *this;
+    }
+    MemberIterator operator++(int) {
+      MemberIterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    friend bool operator==(const MemberIterator& a, const MemberIterator& b) {
+      return a.current_ == b.current_;
+    }
+
+   private:
+    const std::uint32_t* next_ = nullptr;
+    std::uint32_t current_ = kNoVm;
+  };
+
+  class MemberRange {
+   public:
+    MemberRange(const std::uint32_t* next, std::uint32_t head,
+                std::size_t count)
+        : next_(next), head_(head), count_(count) {}
+    [[nodiscard]] MemberIterator begin() const { return {next_, head_}; }
+    [[nodiscard]] MemberIterator end() const { return {next_, kNoVm}; }
+    [[nodiscard]] std::size_t size() const { return count_; }
+    [[nodiscard]] bool empty() const { return count_ == 0; }
+
+   private:
+    const std::uint32_t* next_;
+    std::uint32_t head_;
+    std::size_t count_;
+  };
+
+  [[nodiscard]] MemberRange vms_on(std::size_t j) const {
+    return {vm_next_.data(), server_head_[j], server_count_[j]};
+  }
+  [[nodiscard]] std::size_t vm_count_on(std::size_t j) const {
+    return server_count_[j];
   }
 
   [[nodiscard]] const Instance& instance() const { return *instance_; }
   [[nodiscard]] const ObjectiveOptions& options() const { return options_; }
   [[nodiscard]] StateTracking tracking() const { return tracking_; }
+  [[nodiscard]] const std::shared_ptr<const StateTables>& tables() const {
+    return tables_;
+  }
 
  private:
   struct ServerEdit {
@@ -136,10 +263,19 @@ class PlacementState {
 
   void rebuild_from_placement();
   // Recomputes loads/qos rows, overload count, usage and downtime terms of
-  // server j from used_ and vms_on_, updating the totals.
+  // server j from used_ and the membership list, updating the totals.
   void refresh_server(std::size_t j);
   // Commits a move into every accumulator (no undo bookkeeping).
   void do_move(std::size_t k, std::int32_t target);
+
+  // Membership + demand edits (list unlink/link, used_ row update,
+  // rejected count); placement_ itself is the caller's job.
+  void detach_vm(std::size_t k, std::size_t j);
+  void attach_vm(std::size_t k, std::size_t j);
+
+  // Epoch-deduplicated scratch marks for rebase().
+  void touch_server(std::uint32_t j);
+  void touch_constraint(std::uint32_t c);
 
   // Hypothetical per-server terms after VM k joins/leaves server j; the
   // used row with k's demand applied with `sign` is read from `row`.
@@ -152,21 +288,41 @@ class PlacementState {
   [[nodiscard]] double downtime_penalty(std::size_t k,
                                         double worst_qos) const;
 
+  [[nodiscard]] double& usage_acc(std::size_t j) { return server_cost_[j]; }
+  [[nodiscard]] double& downtime_acc(std::size_t j) {
+    return server_cost_[instance_->m() + j];
+  }
+  [[nodiscard]] double usage_acc(std::size_t j) const {
+    return server_cost_[j];
+  }
+  [[nodiscard]] double downtime_acc(std::size_t j) const {
+    return server_cost_[instance_->m() + j];
+  }
+
   const Instance* instance_;
   ObjectiveOptions options_;
   StateTracking tracking_;
   ConstraintChecker checker_;
+  std::shared_ptr<const StateTables> tables_;
 
   Placement placement_;
   Matrix<double> used_;   // raw allocated demand per (server, attribute)
-  Matrix<double> loads_;  // used / capacity (Eq. 25)
-  Matrix<double> qos_;    // Eq. 24 of loads_
+  Matrix<double> loads_;  // used / capacity (Eq. 25); kFull only
+  Matrix<double> qos_;    // Eq. 24 of loads_; kFull only
 
-  std::vector<std::vector<std::uint32_t>> vms_on_;  // per-server VM lists
-  std::vector<std::uint32_t> pos_in_server_;  // k -> index in its host list
+  // Intrusive per-server membership: flat head/tail/next/prev arrays,
+  // O(1) attach/detach, zero allocation on any path after construction.
+  // Attach links at the tail, so a fresh rebuild lists members in
+  // ascending VM order (the order the old vector layout produced).
+  std::vector<std::uint32_t> server_head_;   // m, kNoVm-terminated
+  std::vector<std::uint32_t> server_tail_;   // m
+  std::vector<std::uint32_t> server_count_;  // m
+  std::vector<std::uint32_t> vm_next_;       // n
+  std::vector<std::uint32_t> vm_prev_;       // n
 
-  std::vector<double> server_usage_;     // Eq. 22 term per server
-  std::vector<double> server_downtime_;  // Eq. 23 term per server
+  // Per-server cost accumulators, striped into one contiguous buffer:
+  // [0, m) = Eq. 22 usage terms, [m, 2m) = Eq. 23 downtime terms.
+  std::vector<double> server_cost_;
   std::vector<std::uint32_t> overload_count_;  // exceeded attrs per server
 
   double total_usage_ = 0.0;
@@ -174,7 +330,6 @@ class PlacementState {
   double total_migration_ = 0.0;
 
   std::vector<std::uint8_t> relation_ok_;  // per-constraint satisfied flag
-  std::vector<std::vector<std::uint32_t>> constraints_of_vm_;
   std::uint32_t capacity_violations_ = 0;
   std::uint32_t relation_violations_ = 0;
   std::size_t rejected_count_ = 0;
@@ -187,6 +342,14 @@ class PlacementState {
   std::vector<Move> undo_;  // target = the server to move back to
 
   std::vector<double> scratch_row_;  // h-sized hypothetical used row
+
+  // rebase() scratch: epoch-stamped dedup marks + touched lists, reused
+  // across calls (no allocation once warmed).
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> server_epoch_;      // m
+  std::vector<std::uint32_t> constraint_epoch_;  // #constraints
+  std::vector<std::uint32_t> touched_servers_;
+  std::vector<std::uint32_t> touched_constraints_;
 };
 
 }  // namespace iaas

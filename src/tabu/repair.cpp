@@ -9,10 +9,13 @@
 
 namespace iaas {
 
-TabuRepair::TabuRepair(const Instance& instance, TabuRepairOptions options)
+TabuRepair::TabuRepair(const Instance& instance, TabuRepairOptions options,
+                       std::shared_ptr<const StateTables> tables)
     : instance_(&instance),
       options_(options),
       checker_(instance),
+      tables_(tables ? std::move(tables)
+                     : std::make_shared<const StateTables>(instance)),
       neighbour_order_(instance.m()) {
   const Fabric& fabric = instance.infra.fabric();
   for (std::size_t server = 0; server < instance.m(); ++server) {
@@ -287,7 +290,7 @@ std::uint32_t TabuRepair::repair(std::vector<std::int32_t>& genes,
   // the last full evaluation — all subsequent violation counts come from
   // the delta accumulators.  Repair never reads objectives, so the state
   // tracks violations only (no QoS/downtime refresh per move).
-  PlacementState state(inst, {}, StateTracking::kViolationsOnly);
+  PlacementState state(inst, {}, StateTracking::kViolationsOnly, tables_);
   state.rebuild(genes);
   const std::uint32_t remaining = repair_state(state, rng);
   if (state.applied_moves() > 0) {

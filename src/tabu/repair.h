@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -37,7 +38,11 @@ struct TabuRepairOptions {
 
 class TabuRepair {
  public:
-  explicit TabuRepair(const Instance& instance, TabuRepairOptions options = {});
+  // `tables` shares the instance's immutable SoA flattening with the
+  // repair states built per repair() call (and with anything else built
+  // against the same instance); when null the repairer builds its own.
+  explicit TabuRepair(const Instance& instance, TabuRepairOptions options = {},
+                      std::shared_ptr<const StateTables> tables = nullptr);
 
   // Repairs genes in place toward feasibility; returns the number of
   // constraint violations remaining afterwards (0 = fully repaired).
@@ -79,6 +84,7 @@ class TabuRepair {
   const Instance* instance_;
   TabuRepairOptions options_;
   ConstraintChecker checker_;
+  std::shared_ptr<const StateTables> tables_;
   // Candidate server ordering per source server (by fabric hop distance),
   // precomputed in the constructor: the heart of the "nearest neighbour"
   // scan, immutable afterwards so one repair functor can be shared across

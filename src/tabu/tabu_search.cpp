@@ -12,10 +12,13 @@
 namespace iaas {
 
 TabuSearch::TabuSearch(const Instance& instance, TabuSearchOptions options,
-                       ObjectiveOptions objective_options)
+                       ObjectiveOptions objective_options,
+                       std::shared_ptr<const StateTables> tables)
     : instance_(&instance),
       options_(options),
-      objective_options_(objective_options) {}
+      objective_options_(objective_options),
+      tables_(tables ? std::move(tables)
+                     : std::make_shared<const StateTables>(instance)) {}
 
 TabuSearchResult TabuSearch::improve(const Placement& start, Rng& rng) {
   const Instance& inst = *instance_;
@@ -37,7 +40,8 @@ TabuSearchResult TabuSearch::improve(const Placement& start, Rng& rng) {
 
   // One delta engine carries the walk; every candidate move is scored via
   // try_move in O(affected servers) instead of a full re-evaluation.
-  PlacementState state(inst, objective_options_);
+  PlacementState state(inst, objective_options_, StateTracking::kFull,
+                       tables_);
   state.rebuild(start);
 
   TabuSearchResult result;

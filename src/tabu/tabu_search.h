@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/rng.h"
 #include "model/instance.h"
@@ -36,8 +37,11 @@ struct TabuSearchResult {
 
 class TabuSearch {
  public:
+  // `tables` shares the instance's immutable SoA flattening with the walk
+  // state built per improve() call; when null the search builds its own.
   TabuSearch(const Instance& instance, TabuSearchOptions options = {},
-             ObjectiveOptions objective_options = {});
+             ObjectiveOptions objective_options = {},
+             std::shared_ptr<const StateTables> tables = nullptr);
 
   // Improve `start` (expected feasible; infeasible starts are repaired by
   // rejecting nothing — moves that violate constraints are never taken).
@@ -47,6 +51,7 @@ class TabuSearch {
   const Instance* instance_;
   TabuSearchOptions options_;
   ObjectiveOptions objective_options_;
+  std::shared_ptr<const StateTables> tables_;
 };
 
 }  // namespace iaas

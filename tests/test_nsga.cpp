@@ -210,27 +210,35 @@ TEST(NsgaBase, ThreadCountInvariantInAllConstraintModes) {
     NsgaConfig serial = quick_config();
     serial.constraint_mode = mode;
     serial.threads = 1;
-    NsgaConfig parallel = serial;
-    parallel.threads = 8;
 
     Nsga3 a(problem, serial, repair_fn, state_fn);
-    Nsga3 b(problem, parallel, repair_fn, state_fn);
     const auto ra = a.run(91);
-    const auto rb = b.run(91);
 
-    EXPECT_EQ(ra.evaluations, rb.evaluations);
-    EXPECT_EQ(ra.repair_invocations, rb.repair_invocations);
-    EXPECT_EQ(ra.generations, rb.generations);
-    ASSERT_EQ(ra.front.size(), rb.front.size());
-    for (std::size_t i = 0; i < ra.front.size(); ++i) {
-      EXPECT_EQ(ra.front[i].genes, rb.front[i].genes);
-      EXPECT_EQ(ra.front[i].objectives, rb.front[i].objectives);
-      EXPECT_EQ(ra.front[i].violations, rb.front[i].violations);
-    }
-    ASSERT_EQ(ra.population.size(), rb.population.size());
-    for (std::size_t i = 0; i < ra.population.size(); ++i) {
-      EXPECT_EQ(ra.population[i].genes, rb.population[i].genes);
-      EXPECT_EQ(ra.population[i].objectives, rb.population[i].objectives);
+    // The batch granularity is a pure scheduling knob: any thread count
+    // crossed with any task_grain must reproduce the serial run exactly.
+    for (const std::size_t grain : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{7}, std::size_t{64}}) {
+      NsgaConfig parallel = serial;
+      parallel.threads = 8;
+      parallel.task_grain = grain;
+
+      Nsga3 b(problem, parallel, repair_fn, state_fn);
+      const auto rb = b.run(91);
+
+      EXPECT_EQ(ra.evaluations, rb.evaluations);
+      EXPECT_EQ(ra.repair_invocations, rb.repair_invocations);
+      EXPECT_EQ(ra.generations, rb.generations);
+      ASSERT_EQ(ra.front.size(), rb.front.size());
+      for (std::size_t i = 0; i < ra.front.size(); ++i) {
+        EXPECT_EQ(ra.front[i].genes, rb.front[i].genes);
+        EXPECT_EQ(ra.front[i].objectives, rb.front[i].objectives);
+        EXPECT_EQ(ra.front[i].violations, rb.front[i].violations);
+      }
+      ASSERT_EQ(ra.population.size(), rb.population.size());
+      for (std::size_t i = 0; i < ra.population.size(); ++i) {
+        EXPECT_EQ(ra.population[i].genes, rb.population[i].genes);
+        EXPECT_EQ(ra.population[i].objectives, rb.population[i].objectives);
+      }
     }
   }
 }
@@ -284,6 +292,7 @@ TEST(NsgaBase, TraceCountersDeterministicAcrossThreadCounts) {
 #if IAAS_TELEMETRY
     EXPECT_EQ(x.full_rebuilds, y.full_rebuilds);
     EXPECT_EQ(x.delta_moves, y.delta_moves);
+    EXPECT_EQ(x.rebases, y.rebases);
     EXPECT_EQ(x.repaired, y.repaired);
     EXPECT_EQ(x.unrepairable, y.unrepairable);
     EXPECT_EQ(x.tabu_moves_tried, y.tabu_moves_tried);

@@ -113,6 +113,7 @@ RunTrace sample_trace() {
   row.evaluations = 10;
   row.full_rebuilds = 11;
   row.delta_moves = 12;
+  row.rebases = 5;
   row.repair_invocations = 13;
   row.repaired = 6;
   row.unrepairable = 7;

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <map>
+#include <mutex>
 #include <new>
 #include <numeric>
 #include <stdexcept>
@@ -147,6 +150,101 @@ TEST(ThreadPool, ParallelForFromMultipleThreadsConcurrently) {
 
 TEST(ThreadPool, SharedPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+}
+
+TEST(ThreadPool, SlotsCoverEveryIndexAndStayBounded) {
+  // parallel_for_slots promises slot < size(): at most one participant
+  // per worker (the caller stands in for one of them).
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  std::atomic<bool> bad_slot{false};
+  pool.parallel_for_slots(0, hits.size(),
+                          [&](std::size_t slot, std::size_t i) {
+                            if (slot >= pool.size()) {
+                              bad_slot = true;
+                            }
+                            hits[i].fetch_add(1);
+                          });
+  EXPECT_FALSE(bad_slot.load());
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SlotsAreExclusivePerParticipant) {
+  // A participant claims its slot once and keeps it for every chunk it
+  // drains — so a slot is only ever touched by one thread, which is what
+  // lets the NSGA engines index per-slot arenas without locking.
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::map<std::size_t, std::thread::id> owner_of_slot;
+  std::atomic<bool> conflict{false};
+  pool.parallel_for_slots(0, 300, [&](std::size_t slot, std::size_t) {
+    std::lock_guard lock(mu);
+    const auto [it, inserted] =
+        owner_of_slot.emplace(slot, std::this_thread::get_id());
+    if (!inserted && it->second != std::this_thread::get_id()) {
+      conflict = true;
+    }
+  });
+  EXPECT_FALSE(conflict.load());
+  EXPECT_LE(owner_of_slot.size(), pool.size());
+}
+
+TEST(ThreadPool, GrainProducesAlignedContiguousChunks) {
+  // With an explicit grain, chunks are contiguous blocks of that size
+  // aligned to the range start; every block must be drained by exactly
+  // one slot.
+  ThreadPool pool(2);
+  constexpr std::size_t kGrain = 5;
+  constexpr std::size_t kTotal = 20;
+  std::array<std::atomic<int>, kTotal> slot_of;
+  for (auto& s : slot_of) {
+    s = -1;
+  }
+  pool.parallel_for_slots(
+      0, kTotal,
+      [&](std::size_t slot, std::size_t i) {
+        slot_of[i] = static_cast<int>(slot);
+      },
+      kGrain);
+  for (std::size_t block = 0; block < kTotal; block += kGrain) {
+    for (std::size_t i = block; i < block + kGrain; ++i) {
+      ASSERT_NE(slot_of[i].load(), -1);
+      EXPECT_EQ(slot_of[i].load(), slot_of[block].load())
+          << "index " << i << " left its block's chunk";
+    }
+  }
+}
+
+TEST(ThreadPool, GrainCoveringWholeRangeRunsSequentially) {
+  // grain >= total collapses the dispatch to one chunk: a single
+  // participant visits every index in order (no locking needed below).
+  ThreadPool pool(4);
+  std::vector<std::size_t> order;
+  pool.parallel_for(
+      0, 32, [&](std::size_t i) { order.push_back(i); }, 32);
+  std::vector<std::size_t> expected(32);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, GrainedParallelForStillPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   0, 100,
+                   [](std::size_t i) {
+                     if (i == 63) {
+                       throw std::logic_error("bad index");
+                     }
+                   },
+                   /*grain=*/8),
+               std::logic_error);
+  // And the pool stays usable afterwards, grain or not.
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(
+      0, 10, [&](std::size_t i) { sum += i; }, 4);
+  EXPECT_EQ(sum.load(), 45u);
 }
 
 TEST(ThreadPool, ManySmallParallelForCalls) {

@@ -159,6 +159,9 @@ TEST(SimTraceJson, RunTraceRoundTripsThroughJson) {
   telemetry::GenerationRow row;
   row.generation = 3;
   row.evaluations = 160;
+  row.delta_moves = 40;
+  row.rebases = 9;
+  row.repair_invocations = 80;
   row.front_size = 7;
   row.best_objectives = {1.5, 0.0, 2.25};
   row.seconds_evaluate = 0.015625;  // dyadic: exact through JSON
@@ -170,6 +173,9 @@ TEST(SimTraceJson, RunTraceRoundTripsThroughJson) {
   ASSERT_EQ(back.rows.size(), 1u);
   EXPECT_EQ(back.rows[0].generation, 3u);
   EXPECT_EQ(back.rows[0].evaluations, 160u);
+  EXPECT_EQ(back.rows[0].delta_moves, 40u);
+  EXPECT_EQ(back.rows[0].rebases, 9u);
+  EXPECT_EQ(back.rows[0].repair_invocations, 80u);
   EXPECT_EQ(back.rows[0].front_size, 7u);
   EXPECT_DOUBLE_EQ(back.rows[0].best_objectives[2], 2.25);
   EXPECT_DOUBLE_EQ(back.rows[0].seconds_evaluate, 0.015625);
