@@ -1,0 +1,279 @@
+// Throughput driver for the sharded steady-state allocator (DESIGN.md
+// §12): runs the same admission-controlled, warm-started simulation
+// horizon twice — once with the plain NSGA-III+Tabu allocator, once with
+// the ShardedAllocator — and reports windows/sec, cumulative VM
+// arrivals, front quality and the rebalance telemetry, emitting a
+// machine-readable BENCH_sharded_throughput.json.
+//
+// Tiers (IAAS_BENCH_SIZES selects; IAAS_BENCH_FAST shrinks):
+//   fast        64 servers,  40 windows x  30 arrivals   (smoke)
+//   default    256 servers, 200 windows x 120 arrivals   (CI nightly)
+//   throughput 512 servers, 2000 windows x 525 arrivals  (>= 1M VMs)
+//
+// Gates (nightly):
+//   IAAS_BENCH_MIN_SHARD_SPEEDUP   floor on sharded/unsharded windows
+//                                  per second; skipped below 8 hardware
+//                                  threads (report, don't fail).
+//   front quality                  sharded mean aggregate must stay
+//                                  within the rebalance tolerance of the
+//                                  unsharded run — hard-fails otherwise
+//                                  on any hardware.
+//
+// The sharded fingerprint is printed so the nightly job can diff a
+// telemetry-ON build against a telemetry-OFF build: the digest excludes
+// wall clocks and counter columns, so the two must match bit-for-bit.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algo/registry.h"
+#include "algo/sharded_allocator.h"
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "sim/simulator.h"
+#include "workload/scenario_config.h"
+
+namespace {
+
+struct Tier {
+  const char* name = "default";
+  std::uint32_t servers = 256;
+  std::uint32_t datacenters = 8;
+  std::size_t windows = 200;
+  std::size_t arrivals = 120;  // mean per window (schedule alternates)
+};
+
+struct ModeResult {
+  std::string algorithm;
+  double seconds = 0.0;
+  double windows_per_sec = 0.0;
+  std::size_t cumulative_arrivals = 0;
+  std::size_t admitted = 0;
+  std::size_t deferred = 0;
+  std::size_t dropped = 0;
+  std::size_t rejected = 0;  // permanent + terminal-window rejections
+  double mean_aggregate = 0.0;
+  std::uint64_t fingerprint = 0;
+  iaas::ShardRunStats shard_totals;  // zero for the unsharded mode
+};
+
+iaas::SimConfig make_sim_config(const Tier& tier) {
+  iaas::SimConfig sim;
+  sim.windows = tier.windows;
+  // Deterministic bursty schedule around the mean: the heavy window
+  // overflows the admission budget, the light one drains the queue, so
+  // the FIFO admission path is exercised every other window while the
+  // cumulative arrival count stays exact (windows * arrivals).
+  sim.arrival_schedule = {tier.arrivals + tier.arrivals / 2,
+                          tier.arrivals - tier.arrivals / 2};
+  sim.max_admissions_per_window = tier.arrivals + tier.arrivals / 4;
+  sim.admission_queue_limit = tier.arrivals * 8;
+  sim.departure_probability = 0.45;  // high churn keeps the horizon steady
+  sim.retry.max_attempts = 2;
+  sim.retry.backoff_base_windows = 1;
+  sim.warm_start_front = true;  // per-shard persistence across windows
+  sim.scenario = iaas::ScenarioConfig::paper_scale(tier.servers,
+                                                   tier.datacenters);
+  sim.scenario.vms = 0;  // the simulator generates arrivals itself
+  return sim;
+}
+
+iaas::SuiteOptions lean_suite() {
+  iaas::SuiteOptions suite;  // Table III defaults...
+  // ...trimmed to steady-state weight: the warm start carries the
+  // incumbent, so a short, cheap search per window is the whole point of
+  // the throughput driver.
+  suite.ea.nsga.population_size = 24;
+  suite.ea.nsga.max_evaluations = 960;
+  suite.ea.nsga.reference_divisions = 4;
+  suite.ea.nsga.threads = 0;  // process-shared pool (fair vs sharded)
+  return suite;
+}
+
+ModeResult run_mode(const Tier& tier, std::unique_ptr<iaas::Allocator> alloc,
+                    std::uint64_t seed) {
+  ModeResult mode;
+  mode.algorithm = alloc->name();
+  iaas::CloudSimulator sim(make_sim_config(tier), std::move(alloc));
+  iaas::Stopwatch timer;
+  const std::vector<iaas::WindowMetrics> rows = sim.run(seed);
+  mode.seconds = timer.elapsed_seconds();
+  mode.windows_per_sec =
+      static_cast<double>(rows.size()) / std::max(mode.seconds, 1e-9);
+  mode.fingerprint = iaas::deterministic_fingerprint(rows);
+  double aggregate = 0.0;
+  for (const iaas::WindowMetrics& row : rows) {
+    mode.cumulative_arrivals += row.arrived;
+    mode.admitted += row.admitted;
+    mode.deferred += row.admission_deferred;
+    mode.dropped += row.admission_dropped;
+    mode.rejected += row.permanently_rejected;
+    aggregate += row.objectives.aggregate();
+    mode.shard_totals.shard_count =
+        std::max(mode.shard_totals.shard_count, row.shard.shard_count);
+    mode.shard_totals.pre_rejections += row.shard.pre_rejections;
+    mode.shard_totals.rebalance_placements += row.shard.rebalance_placements;
+    mode.shard_totals.migrations += row.shard.migrations;
+    mode.shard_totals.max_shard_vms =
+        std::max(mode.shard_totals.max_shard_vms, row.shard.max_shard_vms);
+  }
+  if (!rows.empty()) {
+    mode.rejected += rows.back().rejected;  // still unplaced at the end
+    mode.mean_aggregate = aggregate / static_cast<double>(rows.size());
+  }
+  return mode;
+}
+
+}  // namespace
+
+int main() {
+  using namespace iaas;
+  using iaas::bench::csv_dir;
+
+  std::printf("=== Sharded steady-state throughput driver ===\n");
+
+  Tier tier;
+  if (std::getenv("IAAS_BENCH_FAST") != nullptr) {
+    tier = {"fast", 64, 2, 40, 30};
+  }
+  if (const char* sizes = std::getenv("IAAS_BENCH_SIZES")) {
+    if (std::strcmp(sizes, "throughput") == 0) {
+      // The >= 1M cumulative-VM acceptance run: 2000 windows x 525
+      // arrivals (deterministic schedule) = 1.05M requests.
+      tier = {"throughput", 512, 8, 2000, 525};
+    }
+  }
+  const std::uint64_t seed = 20170529;
+  const SuiteOptions suite = lean_suite();
+
+  std::printf("tier %s: %u servers / %u DCs, %zu windows, %zu mean "
+              "arrivals/window (%zu cumulative)\n",
+              tier.name, tier.servers, tier.datacenters, tier.windows,
+              tier.arrivals, tier.windows * tier.arrivals);
+
+  ModeResult unsharded =
+      run_mode(tier, make_allocator(AlgorithmId::kNsga3Tabu, suite), seed);
+
+  ShardedAllocatorOptions sharded_options;
+  sharded_options.shard_count = 0;  // one shard per datacenter
+  sharded_options.suite = suite;
+  ModeResult sharded = run_mode(
+      tier, std::make_unique<ShardedAllocator>(sharded_options), seed);
+
+  const double speedup =
+      sharded.windows_per_sec / std::max(unsharded.windows_per_sec, 1e-9);
+  // Rebalance tolerance: the sharded search optimises each slice locally
+  // and recovers boundary losers greedily, so its front may trail the
+  // global search by a bounded margin.
+  const double front_tolerance = 0.15;
+  const double quality_ratio =
+      sharded.mean_aggregate / std::max(unsharded.mean_aggregate, 1e-9);
+
+  TextTable table({"mode", "windows/s", "seconds", "arrivals", "admitted",
+                   "deferred", "dropped", "rejected", "mean aggregate"});
+  for (const ModeResult* mode : {&unsharded, &sharded}) {
+    table.add_row({mode->algorithm, TextTable::num(mode->windows_per_sec, 2),
+                   TextTable::num(mode->seconds, 2),
+                   std::to_string(mode->cumulative_arrivals),
+                   std::to_string(mode->admitted),
+                   std::to_string(mode->deferred),
+                   std::to_string(mode->dropped),
+                   std::to_string(mode->rejected),
+                   TextTable::num(mode->mean_aggregate, 2)});
+  }
+  table.print();
+  std::printf("\nsharded speed-up: %.2fx   front-quality ratio: %.4f "
+              "(tolerance %.2f)\n",
+              speedup, quality_ratio, 1.0 + front_tolerance);
+  std::printf("shards %zu  pre-rejections %zu  rebalance placements %zu  "
+              "migrations %zu  max shard VMs %zu\n",
+              sharded.shard_totals.shard_count,
+              sharded.shard_totals.pre_rejections,
+              sharded.shard_totals.rebalance_placements,
+              sharded.shard_totals.migrations,
+              sharded.shard_totals.max_shard_vms);
+  // The nightly job diffs these digests between telemetry-ON and
+  // telemetry-OFF builds (and the sharded one across thread counts).
+  std::printf("fingerprint unsharded %016llx sharded %016llx\n",
+              static_cast<unsigned long long>(unsharded.fingerprint),
+              static_cast<unsigned long long>(sharded.fingerprint));
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const std::string json_path = csv_dir() + "/BENCH_sharded_throughput.json";
+  if (std::FILE* json = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"sharded_throughput\",\n"
+                 "  \"tier\": \"%s\",\n"
+                 "  \"servers\": %u,\n"
+                 "  \"datacenters\": %u,\n"
+                 "  \"windows\": %zu,\n"
+                 "  \"hardware_threads\": %u,\n"
+                 "  \"speedup\": %.4f,\n"
+                 "  \"front_quality_ratio\": %.6f,\n"
+                 "  \"front_quality_tolerance\": %.2f,\n"
+                 "  \"modes\": [\n",
+                 tier.name, tier.servers, tier.datacenters, tier.windows,
+                 hardware, speedup, quality_ratio, front_tolerance);
+    const ModeResult* modes[] = {&unsharded, &sharded};
+    for (std::size_t i = 0; i < 2; ++i) {
+      const ModeResult& mode = *modes[i];
+      std::fprintf(
+          json,
+          "    {\"algorithm\": \"%s\", \"windows_per_sec\": %.4f, "
+          "\"seconds\": %.4f, \"cumulative_arrivals\": %zu, "
+          "\"admitted\": %zu, \"deferred\": %zu, \"dropped\": %zu, "
+          "\"rejected\": %zu, \"mean_aggregate\": %.6f, "
+          "\"fingerprint\": \"%016llx\", \"shard_count\": %zu, "
+          "\"pre_rejections\": %zu, \"rebalance_placements\": %zu, "
+          "\"migrations\": %zu}%s\n",
+          mode.algorithm.c_str(), mode.windows_per_sec, mode.seconds,
+          mode.cumulative_arrivals, mode.admitted, mode.deferred,
+          mode.dropped, mode.rejected, mode.mean_aggregate,
+          static_cast<unsigned long long>(mode.fingerprint),
+          mode.shard_totals.shard_count, mode.shard_totals.pre_rejections,
+          mode.shard_totals.rebalance_placements,
+          mode.shard_totals.migrations, i + 1 < 2 ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nWrote %s\n", json_path.c_str());
+  }
+
+  // Front-quality gate: unconditional — a sharded run that loses more
+  // than the rebalance tolerance is a correctness regression of the
+  // rebalance pass, not a perf artefact of the host.
+  if (quality_ratio > 1.0 + front_tolerance) {
+    std::fprintf(stderr,
+                 "FAIL: sharded front quality ratio %.4f exceeds the "
+                 "1 + %.2f rebalance tolerance\n",
+                 quality_ratio, front_tolerance);
+    return 1;
+  }
+
+  // Throughput gate (nightly): only meaningful with real parallel
+  // headroom — report-and-skip below 8 hardware threads.
+  if (const char* floor_env = std::getenv("IAAS_BENCH_MIN_SHARD_SPEEDUP")) {
+    const double floor = std::strtod(floor_env, nullptr);
+    if (hardware < 8) {
+      std::printf("shard speedup gate skipped: %u hardware threads < 8 "
+                  "(speedup %.2f not meaningful here)\n",
+                  hardware, speedup);
+    } else if (speedup < floor) {
+      std::fprintf(stderr,
+                   "FAIL: sharded speedup %.2f is below the %.2f floor\n",
+                   speedup, floor);
+      return 1;
+    } else {
+      std::printf("shard speedup gate passed: %.2f >= %.2f\n", speedup,
+                  floor);
+    }
+  }
+  return 0;
+}

@@ -23,6 +23,18 @@
 
 namespace iaas {
 
+// Per-window statistics of one sharded allocation (algo/sharded_allocator):
+// how the load split across shards, how lossy the split was before the
+// cross-shard rebalance pass, and what the rebalance recovered.
+struct ShardRunStats {
+  std::size_t shard_count = 0;
+  std::size_t pre_rejections = 0;        // rejected by every shard's EA run
+  std::size_t rebalance_placements = 0;  // recovered by the global pass
+  std::size_t migrations = 0;            // cross-shard improvement moves
+  std::size_t max_shard_vms = 0;         // routing imbalance: largest and
+  std::size_t min_shard_vms = 0;         // smallest shard slice (VM count)
+};
+
 struct AllocationResult {
   std::string algorithm;
 
@@ -50,6 +62,9 @@ struct AllocationResult {
   // them across windows — compacted alongside the live placement — and
   // feeds them back through seed_next_run to warm-start the next search.
   std::vector<std::vector<std::int32_t>> front_genes;
+
+  // Filled only by the sharded allocator (shard_count > 0 then).
+  ShardRunStats shard;
 
   [[nodiscard]] double rejection_rate() const {
     return vm_count == 0

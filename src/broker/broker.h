@@ -26,6 +26,7 @@
 
 #include "algo/registry.h"
 #include "broker/market.h"
+#include "model/assignment_units.h"
 #include "model/request_set.h"
 
 namespace iaas {
@@ -88,12 +89,9 @@ struct BrokerResult {
   }
 };
 
-// Groups VM indices into assignment units: the transitive closure of
-// the relationship groups (VMs sharing any constraint land in one
-// unit), one singleton unit per unconstrained VM.  Units are ordered by
-// their smallest member, members ascending — a deterministic partition.
-std::vector<std::vector<std::uint32_t>> assignment_units(
-    const RequestSet& requests);
+// assignment_units (the unit closure the router operates on) moved to
+// model/assignment_units.h so the sharded allocator shares it; the
+// include above keeps it visible to existing broker callers.
 
 class BrokerAllocator {
  public:

@@ -36,6 +36,16 @@ const char* counter_name(Counter c) {
       return "sim_permanent_rejections";
     case Counter::kSimDegradedWindows:
       return "sim_degraded_windows";
+    case Counter::kShardPreRejections:
+      return "shard_pre_rejections";
+    case Counter::kShardRebalancePlacements:
+      return "shard_rebalance_placements";
+    case Counter::kShardMigrations:
+      return "shard_migrations";
+    case Counter::kSimAdmissionDeferrals:
+      return "sim_admission_deferrals";
+    case Counter::kSimAdmissionDrops:
+      return "sim_admission_drops";
     case Counter::kCount:
       break;
   }

@@ -52,6 +52,12 @@ enum class Counter : std::size_t {
   kSimRetries,               // queued VMs re-entering a later window
   kSimPermanentRejections,   // retry budget exhausted, VM dropped
   kSimDegradedWindows,       // windows served by the fallback chain
+  // Sharded allocator (cross-shard rebalance + admission control).
+  kShardPreRejections,       // VMs every shard rejected before rebalance
+  kShardRebalancePlacements, // rejected VMs the global rebalance placed
+  kShardMigrations,          // cross-shard improvement moves applied
+  kSimAdmissionDeferrals,    // arrival units pushed to a later window
+  kSimAdmissionDrops,        // arrival units shed at the queue cap
   kCount,
 };
 

@@ -340,8 +340,13 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
     // Cross-run seeds (a previous run's front): slot them in after the
     // incumbent, capped at half the population so exploration survives.
     // Wrong-length vectors are skipped (the VM set changed shape in a
-    // way the caller's compaction could not track); genes are clamped
-    // into the valid range.
+    // way the caller's compaction could not track); out-of-range genes
+    // are clamped and rejected genes randomised, exactly like the
+    // incumbent's (problem.cpp).  Keeping kRejected here would be
+    // poison: rejection costs nothing in objective space, so one
+    // reject-heavy seed dominates the front and a steady-state run
+    // (simulator fronts are padded with kRejected for every arrival)
+    // collapses to rejecting all traffic.
     std::size_t slot = config_.warm_start ? 1 : 0;
     const std::size_t cap =
         std::min(population.size() / 2,
@@ -356,7 +361,8 @@ NsgaBase::Result NsgaBase::run(std::uint64_t seed) {
       Individual& ind = population[slot++];
       ind.genes = seed_vec;
       for (std::int32_t& g : ind.genes) {
-        g = std::clamp(g, Placement::kRejected, max_gene);
+        g = g < 0 ? static_cast<std::int32_t>(rng.uniform_int(0, max_gene))
+                  : std::min(g, max_gene);
       }
     }
   }

@@ -75,6 +75,12 @@ class Json {
   // with that many spaces per level.
   [[nodiscard]] std::string dump(int indent = -1) const;
 
+  // Serialise into a caller-owned buffer (cleared first), reserving it
+  // from a structural size estimate so the append loop never reallocates
+  // mid-dump.  Emitters writing many documents keep one scratch string
+  // across calls and pay for its growth only once.
+  void dump_into(std::string& out, int indent = -1) const;
+
   // Parse a complete JSON document (trailing garbage is an error).
   static Json parse(std::string_view text);
 
@@ -85,6 +91,10 @@ class Json {
   using Object = std::vector<std::pair<std::string, Json>>;
 
   void dump_to(std::string& out, int indent, int depth) const;
+  // Upper-ish bound on the dump's byte size (exact for structure and
+  // indentation, padded for numbers/escapes) — what dump/dump_into
+  // reserve before appending.
+  [[nodiscard]] std::size_t dump_estimate(int indent, int depth) const;
 
   std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
       value_;

@@ -68,7 +68,13 @@ void write_trace_json(const telemetry::RunTrace& trace,
   std::ofstream out(path);
   IAAS_EXPECT(out.is_open(),
               ("trace_json: cannot open " + path).c_str());
-  out << trace_to_json(trace).dump(2) << '\n';
+  // One reusable scratch buffer per thread: dump_into reserves it from a
+  // size estimate, so repeated emitter calls (per-window archives, bench
+  // sweeps) stop paying per-call growth reallocations.
+  static thread_local std::string scratch;
+  trace_to_json(trace).dump_into(scratch, 2);
+  scratch += '\n';
+  out << scratch;
   out.flush();
   IAAS_EXPECT(out.good(), ("trace_json: write error on " + path).c_str());
 }
@@ -265,6 +271,27 @@ Json sim_trace_to_json(const std::vector<WindowMetrics>& metrics) {
       w["cross_cloud_migration_cost"] =
           Json::number(row.cross_cloud_migration_cost);
     }
+    // Admission-control and shard blocks, emitted only when active so
+    // legacy fixtures keep their exact shape.
+    if (row.admitted != 0 || row.admission_deferred != 0 ||
+        row.admission_dropped != 0 || row.admission_queue_depth != 0) {
+      Json admission = Json::object();
+      admission["admitted"] = num(row.admitted);
+      admission["deferred"] = num(row.admission_deferred);
+      admission["dropped"] = num(row.admission_dropped);
+      admission["queue_depth"] = num(row.admission_queue_depth);
+      w["admission"] = std::move(admission);
+    }
+    if (row.shard.shard_count != 0) {
+      Json shard = Json::object();
+      shard["shard_count"] = num(row.shard.shard_count);
+      shard["pre_rejections"] = num(row.shard.pre_rejections);
+      shard["rebalance_placements"] = num(row.shard.rebalance_placements);
+      shard["migrations"] = num(row.shard.migrations);
+      shard["max_shard_vms"] = num(row.shard.max_shard_vms);
+      shard["min_shard_vms"] = num(row.shard.min_shard_vms);
+      w["shard"] = std::move(shard);
+    }
     w["degrade"] = Json::string(degrade_level_name(row.degrade));
     w["fallback_algorithm"] = Json::string(row.fallback_algorithm);
     Json objectives = Json::array();
@@ -322,6 +349,23 @@ std::vector<WindowMetrics> sim_trace_from_json(const Json& json) {
       row.offline_providers = as_size(w.at("offline_providers"));
       row.cross_cloud_migration_cost =
           w.at("cross_cloud_migration_cost").as_number();
+    }
+    if (w.contains("admission")) {
+      const Json& admission = w.at("admission");
+      row.admitted = as_size(admission.at("admitted"));
+      row.admission_deferred = as_size(admission.at("deferred"));
+      row.admission_dropped = as_size(admission.at("dropped"));
+      row.admission_queue_depth = as_size(admission.at("queue_depth"));
+    }
+    if (w.contains("shard")) {
+      const Json& shard = w.at("shard");
+      row.shard.shard_count = as_size(shard.at("shard_count"));
+      row.shard.pre_rejections = as_size(shard.at("pre_rejections"));
+      row.shard.rebalance_placements =
+          as_size(shard.at("rebalance_placements"));
+      row.shard.migrations = as_size(shard.at("migrations"));
+      row.shard.max_shard_vms = as_size(shard.at("max_shard_vms"));
+      row.shard.min_shard_vms = as_size(shard.at("min_shard_vms"));
     }
     row.degrade = degrade_level_from_name(w.at("degrade").as_string());
     row.fallback_algorithm = w.at("fallback_algorithm").as_string();

@@ -1,0 +1,48 @@
+#include "model/assignment_units.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace iaas {
+namespace {
+
+// Union-find over VM indices with path halving.
+std::uint32_t find_root(std::vector<std::uint32_t>& parent, std::uint32_t v) {
+  while (parent[v] != v) {
+    parent[v] = parent[parent[v]];
+    v = parent[v];
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> assignment_units(
+    const RequestSet& requests) {
+  const auto n = static_cast<std::uint32_t>(requests.vm_count());
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0U);
+  for (const PlacementConstraint& c : requests.constraints) {
+    for (std::size_t i = 1; i < c.vms.size(); ++i) {
+      const std::uint32_t a = find_root(parent, c.vms[0]);
+      const std::uint32_t b = find_root(parent, c.vms[i]);
+      if (a != b) {
+        parent[std::max(a, b)] = std::min(a, b);
+      }
+    }
+  }
+  // Roots in ascending order = units ordered by smallest member.
+  std::vector<std::vector<std::uint32_t>> units;
+  std::vector<std::int32_t> unit_of(n, -1);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t root = find_root(parent, v);
+    if (unit_of[root] < 0) {
+      unit_of[root] = static_cast<std::int32_t>(units.size());
+      units.emplace_back();
+    }
+    units[static_cast<std::size_t>(unit_of[root])].push_back(v);
+  }
+  return units;
+}
+
+}  // namespace iaas

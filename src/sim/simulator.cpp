@@ -2,12 +2,14 @@
 
 #include <cmath>
 #include <cstring>
+#include <deque>
 #include <exception>
 #include <utility>
 
 #include "algo/heuristics.h"
 #include "common/expect.h"
 #include "common/stopwatch.h"
+#include "model/assignment_units.h"
 
 namespace iaas {
 namespace {
@@ -150,6 +152,8 @@ SimSummary summarize(const std::vector<WindowMetrics>& metrics) {
     s.downtime_cost += row.objectives.downtime_cost;
     s.redirects += row.redirects;
     s.cross_cloud_migration_cost += row.cross_cloud_migration_cost;
+    s.admission_deferred += row.admission_deferred;
+    s.admission_dropped += row.admission_dropped;
   }
   return s;
 }
@@ -208,6 +212,16 @@ std::uint64_t deterministic_fingerprint(
     fnv_u64(h, row.redirects);
     fnv_u64(h, row.offline_providers);
     fnv_f64(h, row.cross_cloud_migration_cost);
+    fnv_u64(h, row.admitted);
+    fnv_u64(h, row.admission_deferred);
+    fnv_u64(h, row.admission_dropped);
+    fnv_u64(h, row.admission_queue_depth);
+    fnv_u64(h, row.shard.shard_count);
+    fnv_u64(h, row.shard.pre_rejections);
+    fnv_u64(h, row.shard.rebalance_placements);
+    fnv_u64(h, row.shard.migrations);
+    fnv_u64(h, row.shard.max_shard_vms);
+    fnv_u64(h, row.shard.min_shard_vms);
     fnv_u64(h, static_cast<std::uint64_t>(row.degrade));
     fnv_str(h, row.fallback_algorithm);
     fnv_f64(h, row.objectives.usage_cost);
@@ -277,6 +291,16 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
   // vector kept index-parallel with live.vms through the same
   // compactions/appends as the live placement.
   std::vector<std::vector<std::int32_t>> carried_front;
+  // Admission backlog (max_admissions_per_window > 0): whole relationship
+  // units waiting to enter the live set, FIFO in arrival order.  A unit's
+  // constraints are stored with unit-local indices and remapped when the
+  // unit is admitted.
+  struct AdmissionUnit {
+    std::vector<VmRequest> vms;
+    std::vector<PlacementConstraint> constraints;
+  };
+  std::deque<AdmissionUnit> admission_queue;
+  std::size_t admission_backlog = 0;  // VMs across admission_queue
   const auto compact_front = [&carried_front](const std::vector<char>& keep) {
     for (std::vector<std::int32_t>& genes : carried_front) {
       compact_parallel(genes, keep);
@@ -345,23 +369,110 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
     // either by the explicit schedule (trace-driven) or Poisson.
     const std::size_t arrivals = window_arrivals(config_, w, rng);
     row.arrived = arrivals;
-    if (arrivals > 0) {
-      RequestSet batch = generator.generate_requests(
-          infra, static_cast<std::uint32_t>(arrivals), rng.next_u64());
+    const auto append_request_set = [&](RequestSet&& set) {
       const auto offset = static_cast<std::uint32_t>(live.vms.size());
-      for (VmRequest& vm : batch.vms) {
+      const std::size_t count = set.vms.size();
+      for (VmRequest& vm : set.vms) {
         live.vms.push_back(std::move(vm));
         live_placement.genes().push_back(Placement::kRejected);
         attempts.push_back(0);
       }
-      extend_front(batch.vms.size());
-      for (PlacementConstraint& c : batch.constraints) {
+      extend_front(count);
+      for (PlacementConstraint& c : set.constraints) {
         for (std::uint32_t& k : c.vms) {
           k += offset;
         }
         live.constraints.push_back(std::move(c));
       }
+    };
+    if (config_.max_admissions_per_window == 0) {
+      if (arrivals > 0) {
+        append_request_set(generator.generate_requests(
+            infra, static_cast<std::uint32_t>(arrivals), rng.next_u64()));
+      }
+    } else {
+      // Admission control: the batch enters the FIFO backlog as whole
+      // relationship units (a unit is never split across windows), then
+      // at most max_admissions_per_window VMs move into the live set.
+      // An oversized unit is admitted alone from the queue front, so
+      // nothing can starve.
+      const std::size_t backlog_before = admission_backlog;
+      std::size_t enqueued = 0;
+      if (arrivals > 0) {
+        RequestSet batch = generator.generate_requests(
+            infra, static_cast<std::uint32_t>(arrivals), rng.next_u64());
+        const std::vector<std::vector<std::uint32_t>> units =
+            assignment_units(batch);
+        // accepted[u] indexes the AdmissionUnit a batch unit became;
+        // local_of remaps batch VM indices into their unit.
+        std::vector<std::int32_t> accepted(units.size(), -1);
+        std::vector<std::uint32_t> local_of(batch.vms.size(), 0);
+        std::vector<std::int32_t> unit_of(batch.vms.size(), -1);
+        std::vector<AdmissionUnit> fresh;
+        for (std::size_t u = 0; u < units.size(); ++u) {
+          if (config_.admission_queue_limit > 0 &&
+              admission_backlog + units[u].size() >
+                  config_.admission_queue_limit) {
+            row.admission_dropped += units[u].size();
+            continue;
+          }
+          accepted[u] = static_cast<std::int32_t>(fresh.size());
+          AdmissionUnit& pending = fresh.emplace_back();
+          pending.vms.reserve(units[u].size());
+          for (const std::uint32_t k : units[u]) {
+            unit_of[k] = static_cast<std::int32_t>(u);
+            local_of[k] = static_cast<std::uint32_t>(pending.vms.size());
+            pending.vms.push_back(std::move(batch.vms[k]));
+          }
+          admission_backlog += units[u].size();
+          enqueued += units[u].size();
+        }
+        // Units are constraint-closed, so each constraint belongs
+        // entirely to one unit (dropped units shed their constraints).
+        for (PlacementConstraint& c : batch.constraints) {
+          const std::int32_t u = unit_of[c.vms.front()];
+          if (u < 0) {
+            continue;
+          }
+          for (std::uint32_t& k : c.vms) {
+            k = local_of[k];
+          }
+          const auto slot = static_cast<std::size_t>(
+              accepted[static_cast<std::size_t>(u)]);
+          fresh[slot].constraints.push_back(std::move(c));
+        }
+        for (AdmissionUnit& pending : fresh) {
+          admission_queue.push_back(std::move(pending));
+        }
+      }
+      std::size_t admitted = 0;
+      while (!admission_queue.empty()) {
+        const std::size_t unit_size = admission_queue.front().vms.size();
+        if (admitted != 0 &&
+            admitted + unit_size > config_.max_admissions_per_window) {
+          break;
+        }
+        AdmissionUnit unit = std::move(admission_queue.front());
+        admission_queue.pop_front();
+        admission_backlog -= unit_size;
+        RequestSet set;
+        set.vms = std::move(unit.vms);
+        set.constraints = std::move(unit.constraints);
+        append_request_set(std::move(set));
+        admitted += unit_size;
+      }
+      row.admitted = admitted;
+      // FIFO: older backlog admits first, so the part of this window's
+      // batch that did not make it in was deferred.
+      const std::size_t admitted_from_new =
+          admitted > backlog_before ? admitted - backlog_before : 0;
+      row.admission_deferred = enqueued - admitted_from_new;
+      telemetry::count(telemetry::Counter::kSimAdmissionDeferrals,
+                       row.admission_deferred);
+      telemetry::count(telemetry::Counter::kSimAdmissionDrops,
+                       row.admission_dropped);
     }
+    row.admission_queue_depth = admission_backlog;
 
     if (live.vms.empty()) {
       row.retry_queue_depth = retries.size();
@@ -465,6 +576,7 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
     row.migration_cost = plan.migration_cost();
     row.rejected = result.rejected;
     row.objectives = result.objectives;
+    row.shard = result.shard;
 
     // Apply: rejected VMs leave the platform — into the retry queue
     // while their attempt budget lasts, permanently otherwise.  A VM

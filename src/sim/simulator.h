@@ -82,6 +82,19 @@ struct SimConfig {
   // placement, so they stay aligned with the next window's VM indexing.
   // No-op for allocators that decline the hand-off (non-EA).
   bool warm_start_front = false;
+  // Admission control (throughput driver): at most this many arrival VMs
+  // enter the allocation instance per window (0 = unlimited, the legacy
+  // behaviour).  Excess arrivals wait in a FIFO admission queue, admitted
+  // as whole relationship units in arrival order — a unit is never split
+  // across windows, so its constraints always enter intact.  A unit
+  // larger than the whole budget is admitted alone when it reaches the
+  // queue front (guaranteed progress).  Retried VMs bypass the queue:
+  // they already waited their backoff.
+  std::size_t max_admissions_per_window = 0;
+  // Cap on the admission queue depth in VMs (0 = unbounded): a unit
+  // whose arrival would push the backlog past the cap is shed entirely
+  // and counted in admission_dropped — load shedding, not deferral.
+  std::size_t admission_queue_limit = 0;
   ScenarioConfig scenario;                 // infrastructure + request shape
 };
 
@@ -147,6 +160,13 @@ struct WindowMetrics {
   std::size_t redirects = 0;  // cross-cloud redirections this window
   std::size_t offline_providers = 0;  // dark clouds during the window
   double cross_cloud_migration_cost = 0.0;  // egress-priced moves
+  // --- admission control (all zero when max_admissions_per_window == 0) ---
+  std::size_t admitted = 0;            // arrival VMs entering the instance
+  std::size_t admission_deferred = 0;  // fresh arrivals pushed to later windows
+  std::size_t admission_dropped = 0;   // shed at the queue cap
+  std::size_t admission_queue_depth = 0;  // backlog VMs after the window
+  // --- sharded allocator (shard_count 0 = unsharded window) ---
+  ShardRunStats shard;
   // --- graceful degradation ---
   DegradeLevel degrade = DegradeLevel::kNone;
   std::string fallback_algorithm;  // set when degrade == kFallback
@@ -170,6 +190,9 @@ struct SimSummary {
   // Multi-cloud columns (zero for single-cloud traces).
   std::size_t redirects = 0;
   double cross_cloud_migration_cost = 0.0;
+  // Admission control (zero without max_admissions_per_window).
+  std::size_t admission_deferred = 0;
+  std::size_t admission_dropped = 0;
 };
 
 SimSummary summarize(const std::vector<WindowMetrics>& metrics);

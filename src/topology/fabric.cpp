@@ -48,6 +48,14 @@ Fabric::Fabric(const FabricConfig& config) : config_(config) {
       }
     }
   }
+  // Leaf-major server index table backing the servers_on_leaf spans.
+  // Global server ids are already leaf-major, so the table is the
+  // identity sequence — kept as an explicit table so the span contract
+  // survives any future reordering of the global layout.
+  leaf_servers_.resize(server_count_);
+  for (std::uint32_t j = 0; j < server_count_; ++j) {
+    leaf_servers_[j] = j;
+  }
 }
 
 std::uint32_t Fabric::datacenter_of_server(std::uint32_t server) const {
@@ -60,18 +68,14 @@ std::uint32_t Fabric::leaf_of_server(std::uint32_t server) const {
   return (server % servers_per_datacenter()) / config_.servers_per_leaf;
 }
 
-std::vector<std::uint32_t> Fabric::servers_on_leaf(std::uint32_t datacenter,
-                                                   std::uint32_t leaf) const {
+std::span<const std::uint32_t> Fabric::servers_on_leaf(
+    std::uint32_t datacenter, std::uint32_t leaf) const {
   IAAS_EXPECT(datacenter < config_.datacenters, "datacenter out of range");
   IAAS_EXPECT(leaf < config_.leaves_per_dc, "leaf out of range");
-  std::vector<std::uint32_t> out;
-  out.reserve(config_.servers_per_leaf);
-  const std::uint32_t base = datacenter * servers_per_datacenter() +
-                             leaf * config_.servers_per_leaf;
-  for (std::uint32_t s = 0; s < config_.servers_per_leaf; ++s) {
-    out.push_back(base + s);
-  }
-  return out;
+  const std::size_t base =
+      static_cast<std::size_t>(datacenter) * servers_per_datacenter() +
+      static_cast<std::size_t>(leaf) * config_.servers_per_leaf;
+  return {leaf_servers_.data() + base, config_.servers_per_leaf};
 }
 
 std::uint32_t Fabric::global_leaf_of_server(std::uint32_t server) const {
@@ -79,7 +83,7 @@ std::uint32_t Fabric::global_leaf_of_server(std::uint32_t server) const {
          leaf_of_server(server);
 }
 
-std::vector<std::uint32_t> Fabric::servers_on_global_leaf(
+std::span<const std::uint32_t> Fabric::servers_on_global_leaf(
     std::uint32_t global_leaf) const {
   IAAS_EXPECT(global_leaf < leaf_count(), "global leaf out of range");
   return servers_on_leaf(global_leaf / config_.leaves_per_dc,

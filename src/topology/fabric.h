@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -59,8 +60,10 @@ class Fabric {
   [[nodiscard]] std::uint32_t datacenter_of_server(std::uint32_t server) const;
   [[nodiscard]] std::uint32_t leaf_of_server(std::uint32_t server) const;
 
-  // Global server indices hosted by a (datacenter, leaf) pair.
-  [[nodiscard]] std::vector<std::uint32_t> servers_on_leaf(
+  // Global server indices hosted by a (datacenter, leaf) pair: a view
+  // into a leaf-major index table precomputed at construction — no
+  // allocation per call (hot in fault injection and shard slicing).
+  [[nodiscard]] std::span<const std::uint32_t> servers_on_leaf(
       std::uint32_t datacenter, std::uint32_t leaf) const;
 
   // Leaves enumerated globally (datacenter-major, matching the global
@@ -72,7 +75,7 @@ class Fabric {
   }
   [[nodiscard]] std::uint32_t global_leaf_of_server(
       std::uint32_t server) const;
-  [[nodiscard]] std::vector<std::uint32_t> servers_on_global_leaf(
+  [[nodiscard]] std::span<const std::uint32_t> servers_on_global_leaf(
       std::uint32_t global_leaf) const;
 
   // Network hop count between two servers: 0 same server, 2 same leaf,
@@ -105,6 +108,10 @@ class Fabric {
   std::vector<FabricNode> nodes_;
   std::vector<FabricLink> links_;
   std::vector<std::uint32_t> server_node_ids_;  // server index -> node id
+  // Global server ids in leaf-major order: global leaf g's servers are
+  // the contiguous run [g * servers_per_leaf, (g+1) * servers_per_leaf)
+  // of this table, which servers_on_leaf returns as a span.
+  std::vector<std::uint32_t> leaf_servers_;
 };
 
 }  // namespace iaas
