@@ -33,6 +33,9 @@
 #include "bench/bench_util.h"
 #include "broker/multicloud_sim.h"
 #include "common/csv.h"
+#include "io/emit.h"
+#include "io/trace_binary.h"
+#include "io/trace_stream.h"
 
 namespace {
 
@@ -153,7 +156,19 @@ struct ModeResult {
   std::string mode;
   RunStats stats;
   bool replay_identical = false;
+  bool trace_roundtrip_ok = false;  // binary trace reloads bit-exact
 };
+
+// Mode names carry '/' (e.g. "brokered/market") — flatten for paths.
+std::string path_token(const std::string& name) {
+  std::string token = name;
+  for (char& c : token) {
+    if (c == '/') {
+      c = '-';
+    }
+  }
+  return token;
+}
 
 // Reduced-budget NSGA-III+tabu suite for the market-aware backends:
 // per-window, per-provider solves need seconds, not the full Table III
@@ -183,7 +198,15 @@ MultiCloudSimConfig base_config(std::size_t windows,
 ModeResult run_mode(const std::string& scenario, const std::string& mode,
                     const MultiCloudSimConfig& cfg, std::uint64_t seed) {
   MultiCloudSimulator sim(cfg);
+  // Stream the brokered trace to the compact binary format while the
+  // horizon runs — each window is flushed as it completes.
+  const std::string trace_path = bench::csv_dir() + "/trace_multicloud_" +
+                                 scenario + "_" + path_token(mode) + ".trc";
+  BinaryTraceWriter trace_writer(trace_path);
+  sim.set_window_sink(
+      [&](const WindowMetrics& row) { trace_writer.append(row); });
   const RunStats stats = collect(sim.run(seed));
+  trace_writer.finish();
   MultiCloudSimulator replay(cfg);
   const RunStats again = collect(replay.run(seed));
   ModeResult result;
@@ -191,6 +214,9 @@ ModeResult run_mode(const std::string& scenario, const std::string& mode,
   result.mode = mode;
   result.stats = stats;
   result.replay_identical = stats.fingerprint == again.fingerprint;
+  result.trace_roundtrip_ok =
+      deterministic_fingerprint(read_binary_sim_trace(trace_path)) ==
+      stats.fingerprint;
   std::printf(
       "%-14s %-18s accept=%5.3f usage=%9.1f downtime=%8.1f "
       "migration=%8.1f egress=%7.1f redirects=%3zu replay=%s\n",
@@ -297,32 +323,53 @@ int main() {
   // --- machine-readable roll-up --------------------------------------
   const std::string json_path =
       bench::csv_dir() + "/BENCH_multicloud.json";
-  if (std::FILE* json = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(json,
-                 "{\n"
-                 "  \"bench\": \"multicloud\",\n"
-                 "  \"servers_per_provider\": %u,\n"
-                 "  \"windows\": %zu,\n"
-                 "  \"results\": [\n",
-                 servers, windows);
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const ModeResult& r = results[i];
-      std::fprintf(
-          json,
-          "    {\"scenario\": \"%s\", \"mode\": \"%s\", "
-          "\"acceptance_rate\": %.6f, \"usage_cost\": %.4f, "
-          "\"downtime_cost\": %.4f, \"migration_cost\": %.4f, "
-          "\"cross_cloud_migration_cost\": %.4f, \"redirects\": %zu, "
-          "\"permanently_rejected\": %zu, \"fingerprint\": \"%016llx\"}%s\n",
-          r.scenario.c_str(), r.mode.c_str(), r.stats.acceptance_rate(),
-          r.stats.usage_cost, r.stats.downtime_cost,
-          r.stats.migration_cost, r.stats.cross_cloud_migration_cost,
-          r.stats.redirects, r.stats.permanently_rejected,
-          static_cast<unsigned long long>(r.stats.fingerprint),
-          i + 1 < results.size() ? "," : "");
+  {
+    std::string out;
+    JsonEmitter e(out, 2);
+    e.begin_object();
+    e.key("bench");
+    e.value("multicloud");
+    e.key("servers_per_provider");
+    e.value(static_cast<std::uint64_t>(servers));
+    e.key("window_count");
+    e.value(static_cast<std::uint64_t>(windows));
+    e.key("results");
+    e.begin_array();
+    for (const ModeResult& r : results) {
+      char digest[17];
+      std::snprintf(digest, sizeof digest, "%016llx",
+                    static_cast<unsigned long long>(r.stats.fingerprint));
+      e.begin_object();
+      e.key("scenario");
+      e.value(r.scenario);
+      e.key("mode");
+      e.value(r.mode);
+      e.key("acceptance_rate");
+      e.value(r.stats.acceptance_rate());
+      e.key("usage_cost");
+      e.value(r.stats.usage_cost);
+      e.key("downtime_cost");
+      e.value(r.stats.downtime_cost);
+      e.key("migration_cost");
+      e.value(r.stats.migration_cost);
+      e.key("cross_cloud_migration_cost");
+      e.value(r.stats.cross_cloud_migration_cost);
+      e.key("redirects");
+      e.value(static_cast<std::uint64_t>(r.stats.redirects));
+      e.key("permanently_rejected");
+      e.value(static_cast<std::uint64_t>(r.stats.permanently_rejected));
+      e.key("fingerprint");
+      e.value(digest);
+      e.key("trace_roundtrip_ok");
+      e.value(r.trace_roundtrip_ok);
+      e.end_object();
     }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
+    e.end_array();
+    e.end_object();
+    out += '\n';
+    JsonFileSink sink(json_path);
+    sink.write(out);
+    sink.close();
     std::printf("\nWrote %s\n", json_path.c_str());
   }
 
@@ -338,6 +385,12 @@ int main() {
     if (!r.replay_identical) {
       std::printf("FAIL: %s/%s replay diverged\n", r.scenario.c_str(),
                   r.mode.c_str());
+      ok = false;
+    }
+    if (!r.trace_roundtrip_ok) {
+      std::printf("FAIL: %s/%s binary trace round trip changed the "
+                  "fingerprint\n",
+                  r.scenario.c_str(), r.mode.c_str());
       ok = false;
     }
     if (r.scenario == "provider-outage" && r.mode != "single-cloud" &&

@@ -21,6 +21,7 @@
 #include "common/table.h"
 #include "common/telemetry.h"
 #include "io/trace_json.h"
+#include "io/trace_stream.h"
 #include "workload/generator.h"
 
 namespace {
@@ -114,11 +115,7 @@ int main() {
   // EA task merge + standalone tabu run; phase times by the scoped
   // timers in the engine and simulator).
   const std::string registry_path = csv_dir() + "/telemetry_registry.json";
-  std::ofstream registry_out(registry_path);
-  IAAS_EXPECT(registry_out.is_open(),
-              ("cannot open " + registry_path).c_str());
-  registry_out << registry_to_json(telemetry::Registry::global()).dump(2)
-               << '\n';
+  write_registry_json(telemetry::Registry::global(), registry_path);
   std::printf("registry snapshot: %s\n", registry_path.c_str());
   return 0;
 }

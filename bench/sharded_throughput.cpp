@@ -22,6 +22,13 @@
 // The sharded fingerprint is printed so the nightly job can diff a
 // telemetry-ON build against a telemetry-OFF build: the digest excludes
 // wall clocks and counter columns, so the two must match bit-for-bit.
+//
+// Each mode also streams its full window trace incrementally through
+// the per-window sink (io/trace_stream + io/trace_binary): the horizon
+// is never buffered as a Json tree, and the trace-IO gates below verify
+// the peak emitter buffer stays O(one window), the binary file is >= 5x
+// smaller than the pretty JSON, and the binary trace reloads to the
+// exact mode fingerprint.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +43,10 @@
 #include "bench/bench_util.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
+#include "common/telemetry.h"
+#include "io/emit.h"
+#include "io/trace_binary.h"
+#include "io/trace_stream.h"
 #include "sim/simulator.h"
 #include "workload/scenario_config.h"
 
@@ -61,6 +72,11 @@ struct ModeResult {
   double mean_aggregate = 0.0;
   std::uint64_t fingerprint = 0;
   iaas::ShardRunStats shard_totals;  // zero for the unsharded mode
+  // Streaming trace-IO stats (per-window sink -> JSON + binary files).
+  std::size_t trace_json_bytes = 0;
+  std::size_t trace_binary_bytes = 0;
+  std::size_t trace_peak_buffer = 0;  // JSON writer high-water mark
+  std::string trace_binary_path;
 };
 
 iaas::SimConfig make_sim_config(const Tier& tier) {
@@ -97,13 +113,28 @@ iaas::SuiteOptions lean_suite() {
 }
 
 ModeResult run_mode(const Tier& tier, std::unique_ptr<iaas::Allocator> alloc,
-                    std::uint64_t seed) {
+                    std::uint64_t seed, const std::string& trace_base) {
   ModeResult mode;
   mode.algorithm = alloc->name();
   iaas::CloudSimulator sim(make_sim_config(tier), std::move(alloc));
+  // Stream the trace while the horizon runs: each completed window is
+  // emitted and flushed immediately, so trace memory stays O(one
+  // window) no matter how long the run is.
+  iaas::SimTraceWriter json_writer(trace_base + ".json");
+  iaas::BinaryTraceWriter binary_writer(trace_base + ".trc");
+  sim.set_window_sink([&](const iaas::WindowMetrics& row) {
+    json_writer.append(row);
+    binary_writer.append(row);
+  });
   iaas::Stopwatch timer;
   const std::vector<iaas::WindowMetrics> rows = sim.run(seed);
+  json_writer.finish();
+  binary_writer.finish();
   mode.seconds = timer.elapsed_seconds();
+  mode.trace_json_bytes = json_writer.bytes_written();
+  mode.trace_binary_bytes = binary_writer.bytes_written();
+  mode.trace_peak_buffer = json_writer.peak_buffer_bytes();
+  mode.trace_binary_path = trace_base + ".trc";
   mode.windows_per_sec =
       static_cast<double>(rows.size()) / std::max(mode.seconds, 1e-9);
   mode.fingerprint = iaas::deterministic_fingerprint(rows);
@@ -158,13 +189,15 @@ int main() {
               tier.arrivals, tier.windows * tier.arrivals);
 
   ModeResult unsharded =
-      run_mode(tier, make_allocator(AlgorithmId::kNsga3Tabu, suite), seed);
+      run_mode(tier, make_allocator(AlgorithmId::kNsga3Tabu, suite), seed,
+               csv_dir() + "/trace_sharded_unsharded");
 
   ShardedAllocatorOptions sharded_options;
   sharded_options.shard_count = 0;  // one shard per datacenter
   sharded_options.suite = suite;
-  ModeResult sharded = run_mode(
-      tier, std::make_unique<ShardedAllocator>(sharded_options), seed);
+  ModeResult sharded =
+      run_mode(tier, std::make_unique<ShardedAllocator>(sharded_options),
+               seed, csv_dir() + "/trace_sharded_sharded");
 
   const double speedup =
       sharded.windows_per_sec / std::max(unsharded.windows_per_sec, 1e-9);
@@ -204,46 +237,139 @@ int main() {
               static_cast<unsigned long long>(unsharded.fingerprint),
               static_cast<unsigned long long>(sharded.fingerprint));
 
+  // --- trace-IO gates (unconditional: correctness, not perf) ----------
+  bool trace_ok = true;
+  for (const ModeResult* mode : {&unsharded, &sharded}) {
+    const double per_window = static_cast<double>(mode->trace_json_bytes) /
+                              static_cast<double>(tier.windows);
+    std::printf("trace [%s]: json %zu B, binary %zu B (%.2fx), peak "
+                "buffer %zu B (%.0f B/window)\n",
+                mode->algorithm.c_str(), mode->trace_json_bytes,
+                mode->trace_binary_bytes,
+                static_cast<double>(mode->trace_json_bytes) /
+                    std::max<double>(mode->trace_binary_bytes, 1.0),
+                mode->trace_peak_buffer, per_window);
+    if (mode->trace_binary_bytes * 5 > mode->trace_json_bytes) {
+      std::fprintf(stderr,
+                   "FAIL: [%s] binary trace is not >= 5x smaller than "
+                   "the pretty JSON\n",
+                   mode->algorithm.c_str());
+      trace_ok = false;
+    }
+    if (tier.windows >= 8 && static_cast<double>(mode->trace_peak_buffer) >
+                                 4.0 * per_window + 4096.0) {
+      std::fprintf(stderr,
+                   "FAIL: [%s] streaming peak buffer %zu B is not O(one "
+                   "window)\n",
+                   mode->algorithm.c_str(), mode->trace_peak_buffer);
+      trace_ok = false;
+    }
+    const std::uint64_t reloaded = deterministic_fingerprint(
+        read_binary_sim_trace(mode->trace_binary_path));
+    if (reloaded != mode->fingerprint) {
+      std::fprintf(stderr,
+                   "FAIL: [%s] binary trace reload changed the "
+                   "fingerprint\n",
+                   mode->algorithm.c_str());
+      trace_ok = false;
+    }
+  }
+  // The writers flushed their counters to the global registry at
+  // finish(); 4 writers (json + binary per mode) saw every window.
+  {
+    const telemetry::CounterBlock counters =
+        telemetry::Registry::global().counters();
+    const std::uint64_t streamed =
+        counters[telemetry::Counter::kTraceWindowsStreamed];
+    if (streamed < 4 * tier.windows) {
+      std::fprintf(stderr,
+                   "FAIL: trace_windows_streamed counter %llu < %zu\n",
+                   static_cast<unsigned long long>(streamed),
+                   4 * tier.windows);
+      trace_ok = false;
+    }
+  }
+
   const unsigned hardware = std::thread::hardware_concurrency();
   const std::string json_path = csv_dir() + "/BENCH_sharded_throughput.json";
-  if (std::FILE* json = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(json,
-                 "{\n"
-                 "  \"bench\": \"sharded_throughput\",\n"
-                 "  \"tier\": \"%s\",\n"
-                 "  \"servers\": %u,\n"
-                 "  \"datacenters\": %u,\n"
-                 "  \"windows\": %zu,\n"
-                 "  \"hardware_threads\": %u,\n"
-                 "  \"speedup\": %.4f,\n"
-                 "  \"front_quality_ratio\": %.6f,\n"
-                 "  \"front_quality_tolerance\": %.2f,\n"
-                 "  \"modes\": [\n",
-                 tier.name, tier.servers, tier.datacenters, tier.windows,
-                 hardware, speedup, quality_ratio, front_tolerance);
-    const ModeResult* modes[] = {&unsharded, &sharded};
-    for (std::size_t i = 0; i < 2; ++i) {
-      const ModeResult& mode = *modes[i];
-      std::fprintf(
-          json,
-          "    {\"algorithm\": \"%s\", \"windows_per_sec\": %.4f, "
-          "\"seconds\": %.4f, \"cumulative_arrivals\": %zu, "
-          "\"admitted\": %zu, \"deferred\": %zu, \"dropped\": %zu, "
-          "\"rejected\": %zu, \"mean_aggregate\": %.6f, "
-          "\"fingerprint\": \"%016llx\", \"shard_count\": %zu, "
-          "\"pre_rejections\": %zu, \"rebalance_placements\": %zu, "
-          "\"migrations\": %zu}%s\n",
-          mode.algorithm.c_str(), mode.windows_per_sec, mode.seconds,
-          mode.cumulative_arrivals, mode.admitted, mode.deferred,
-          mode.dropped, mode.rejected, mode.mean_aggregate,
-          static_cast<unsigned long long>(mode.fingerprint),
-          mode.shard_totals.shard_count, mode.shard_totals.pre_rejections,
-          mode.shard_totals.rebalance_placements,
-          mode.shard_totals.migrations, i + 1 < 2 ? "," : "");
+  {
+    std::string out;
+    JsonEmitter e(out, 2);
+    e.begin_object();
+    e.key("bench");
+    e.value("sharded_throughput");
+    e.key("tier");
+    e.value(tier.name);
+    e.key("servers");
+    e.value(static_cast<std::uint64_t>(tier.servers));
+    e.key("datacenters");
+    e.value(static_cast<std::uint64_t>(tier.datacenters));
+    e.key("windows");
+    e.value(static_cast<std::uint64_t>(tier.windows));
+    e.key("hardware_threads");
+    e.value(static_cast<std::uint64_t>(hardware));
+    e.key("speedup");
+    e.value(speedup);
+    e.key("front_quality_ratio");
+    e.value(quality_ratio);
+    e.key("front_quality_tolerance");
+    e.value(front_tolerance);
+    e.key("modes");
+    e.begin_array();
+    for (const ModeResult* mode : {&unsharded, &sharded}) {
+      char digest[17];
+      std::snprintf(digest, sizeof digest, "%016llx",
+                    static_cast<unsigned long long>(mode->fingerprint));
+      e.begin_object();
+      e.key("algorithm");
+      e.value(mode->algorithm);
+      e.key("windows_per_sec");
+      e.value(mode->windows_per_sec);
+      e.key("seconds");
+      e.value(mode->seconds);
+      e.key("cumulative_arrivals");
+      e.value(static_cast<std::uint64_t>(mode->cumulative_arrivals));
+      e.key("admitted");
+      e.value(static_cast<std::uint64_t>(mode->admitted));
+      e.key("deferred");
+      e.value(static_cast<std::uint64_t>(mode->deferred));
+      e.key("dropped");
+      e.value(static_cast<std::uint64_t>(mode->dropped));
+      e.key("rejected");
+      e.value(static_cast<std::uint64_t>(mode->rejected));
+      e.key("mean_aggregate");
+      e.value(mode->mean_aggregate);
+      e.key("fingerprint");
+      e.value(digest);
+      e.key("shard_count");
+      e.value(static_cast<std::uint64_t>(mode->shard_totals.shard_count));
+      e.key("pre_rejections");
+      e.value(
+          static_cast<std::uint64_t>(mode->shard_totals.pre_rejections));
+      e.key("rebalance_placements");
+      e.value(static_cast<std::uint64_t>(
+          mode->shard_totals.rebalance_placements));
+      e.key("migrations");
+      e.value(static_cast<std::uint64_t>(mode->shard_totals.migrations));
+      e.key("trace_json_bytes");
+      e.value(static_cast<std::uint64_t>(mode->trace_json_bytes));
+      e.key("trace_binary_bytes");
+      e.value(static_cast<std::uint64_t>(mode->trace_binary_bytes));
+      e.key("trace_peak_buffer_bytes");
+      e.value(static_cast<std::uint64_t>(mode->trace_peak_buffer));
+      e.end_object();
     }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
+    e.end_array();
+    e.end_object();
+    out += '\n';
+    JsonFileSink sink(json_path);
+    sink.write(out);
+    sink.close();
     std::printf("\nWrote %s\n", json_path.c_str());
+  }
+
+  if (!trace_ok) {
+    return 1;
   }
 
   // Front-quality gate: unconditional — a sharded run that loses more

@@ -475,6 +475,9 @@ std::vector<WindowMetrics> MultiCloudSimulator::run(std::uint64_t seed) {
     row.solve_seconds = timer.elapsed_seconds();
     row.retry_queue_depth = retries.size();
     metrics.push_back(row);
+    if (window_sink_) {
+      window_sink_(metrics.back());
+    }
   }
   return metrics;
 }

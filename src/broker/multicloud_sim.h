@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "broker/broker.h"
@@ -67,12 +68,19 @@ class MultiCloudSimulator {
   // per-provider columns (WindowMetrics::providers) populated.
   std::vector<WindowMetrics> run(std::uint64_t seed);
 
+  // Per-window observer, as CloudSimulator::set_window_sink: streaming
+  // trace writers receive each finished row before the next window runs.
+  void set_window_sink(std::function<void(const WindowMetrics&)> sink) {
+    window_sink_ = std::move(sink);
+  }
+
   [[nodiscard]] const MultiCloudSimConfig& config() const {
     return config_;
   }
 
  private:
   MultiCloudSimConfig config_;
+  std::function<void(const WindowMetrics&)> window_sink_;
 };
 
 }  // namespace iaas

@@ -46,6 +46,12 @@ const char* counter_name(Counter c) {
       return "sim_admission_deferrals";
     case Counter::kSimAdmissionDrops:
       return "sim_admission_drops";
+    case Counter::kTraceWindowsStreamed:
+      return "trace_windows_streamed";
+    case Counter::kTraceBytesStreamed:
+      return "trace_bytes_streamed";
+    case Counter::kTracePeakBufferBytes:
+      return "trace_peak_buffer_bytes";
     case Counter::kCount:
       break;
   }

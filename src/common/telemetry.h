@@ -58,6 +58,12 @@ enum class Counter : std::size_t {
   kShardMigrations,          // cross-shard improvement moves applied
   kSimAdmissionDeferrals,    // arrival units pushed to a later window
   kSimAdmissionDrops,        // arrival units shed at the queue cap
+  // Streaming trace I/O (flushed by SimTraceWriter/BinaryTraceWriter at
+  // finish(), directly to the global registry — emission happens outside
+  // the sim loop, so no thread-local sink is installed).
+  kTraceWindowsStreamed,     // window records flushed incrementally
+  kTraceBytesStreamed,       // bytes handed to the trace sink
+  kTracePeakBufferBytes,     // high-water mark of the reusable buffer
   kCount,
 };
 

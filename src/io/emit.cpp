@@ -1,0 +1,183 @@
+#include "io/emit.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+#include "io/json.h"
+
+namespace iaas {
+
+namespace {
+constexpr int kMaxDepth = 64;  // child_written_ is a 64-bit bitset
+}  // namespace
+
+void JsonEmitter::newline_indent(int depth) {
+  if (indent_ < 0) {
+    return;
+  }
+  out_ += '\n';
+  out_.append(static_cast<std::size_t>(indent_ * depth), ' ');
+}
+
+void JsonEmitter::separate_child() {
+  if (depth_ == 0) {
+    return;
+  }
+  const std::uint64_t bit = 1ull << depth_;
+  if ((child_written_ & bit) != 0) {
+    out_ += ',';
+  }
+  newline_indent(depth_);
+  child_written_ |= bit;
+}
+
+void JsonEmitter::before_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+  } else {
+    separate_child();
+  }
+}
+
+void JsonEmitter::after_value() {
+  peak_ = std::max(peak_, out_.size());
+  if (flush_ && out_.size() >= flush_threshold_) {
+    bytes_emitted_ += out_.size();
+    flush_(out_);
+    out_.clear();
+  }
+}
+
+void JsonEmitter::begin_object() {
+  before_value();
+  IAAS_EXPECT(depth_ + 1 < kMaxDepth, "JsonEmitter: nesting too deep");
+  ++depth_;
+  child_written_ &= ~(1ull << depth_);
+  out_ += '{';
+  peak_ = std::max(peak_, out_.size());
+}
+
+void JsonEmitter::end_object() {
+  IAAS_EXPECT(depth_ > 0 && !key_pending_,
+              "JsonEmitter: unbalanced end_object");
+  const bool non_empty = (child_written_ & (1ull << depth_)) != 0;
+  --depth_;
+  if (non_empty) {
+    newline_indent(depth_);
+  }
+  out_ += '}';
+  after_value();
+}
+
+void JsonEmitter::begin_array() {
+  before_value();
+  IAAS_EXPECT(depth_ + 1 < kMaxDepth, "JsonEmitter: nesting too deep");
+  ++depth_;
+  child_written_ &= ~(1ull << depth_);
+  out_ += '[';
+  peak_ = std::max(peak_, out_.size());
+}
+
+void JsonEmitter::end_array() {
+  IAAS_EXPECT(depth_ > 0 && !key_pending_,
+              "JsonEmitter: unbalanced end_array");
+  const bool non_empty = (child_written_ & (1ull << depth_)) != 0;
+  --depth_;
+  if (non_empty) {
+    newline_indent(depth_);
+  }
+  out_ += ']';
+  after_value();
+}
+
+void JsonEmitter::key(std::string_view k) {
+  IAAS_EXPECT(depth_ > 0 && !key_pending_,
+              "JsonEmitter: key outside object member position");
+  separate_child();
+  json_detail::escape_string(k, out_);
+  out_ += indent_ < 0 ? ":" : ": ";
+  key_pending_ = true;
+}
+
+void JsonEmitter::value_null() {
+  before_value();
+  out_ += "null";
+  after_value();
+}
+
+void JsonEmitter::value(bool b) {
+  before_value();
+  out_ += b ? "true" : "false";
+  after_value();
+}
+
+void JsonEmitter::value(double d) {
+  before_value();
+  json_detail::format_double(d, out_);
+  after_value();
+}
+
+void JsonEmitter::value(std::uint64_t v) {
+  before_value();
+  json_detail::format_uint(v, out_);
+  after_value();
+}
+
+void JsonEmitter::value(std::int64_t v) {
+  before_value();
+  json_detail::format_int(v, out_);
+  after_value();
+}
+
+void JsonEmitter::value(std::string_view s) {
+  before_value();
+  json_detail::escape_string(s, out_);
+  after_value();
+}
+
+void JsonEmitter::value_raw(std::string_view raw) {
+  before_value();
+  out_ += raw;
+  after_value();
+}
+
+void emit_json(JsonEmitter& emitter, const Json& value) {
+  switch (value.type()) {
+    case Json::Type::kNull:
+      emitter.value_null();
+      return;
+    case Json::Type::kBool:
+      emitter.value(value.as_bool());
+      return;
+    case Json::Type::kNumber:
+      // Preserve the storage form so integer lexemes re-emit exactly.
+      if (value.holds_unsigned()) {
+        emitter.value(value.as_uint64());
+      } else if (value.holds_signed()) {
+        emitter.value(value.as_int64());
+      } else {
+        emitter.value(value.as_number());
+      }
+      return;
+    case Json::Type::kString:
+      emitter.value(std::string_view(value.as_string()));
+      return;
+    case Json::Type::kArray:
+      emitter.begin_array();
+      for (std::size_t i = 0; i < value.size(); ++i) {
+        emit_json(emitter, value.at(i));
+      }
+      emitter.end_array();
+      return;
+    case Json::Type::kObject:
+      emitter.begin_object();
+      for (const auto& [key, element] : value.items()) {
+        emitter.key(key);
+        emit_json(emitter, element);
+      }
+      emitter.end_object();
+      return;
+  }
+}
+
+}  // namespace iaas

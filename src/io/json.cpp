@@ -1,9 +1,14 @@
 #include "io/json.h"
 
+#include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
+
+#include "common/expect.h"
 
 namespace iaas {
 namespace {
@@ -12,7 +17,57 @@ namespace {
   throw std::runtime_error("json: " + what);
 }
 
+// Exact double == integer comparisons.  A double equals a uint64 only
+// when it is integral, in range, and the cast round-trips bit-exactly.
+bool double_equals_uint(double d, std::uint64_t u) {
+  if (!(d >= 0.0) || d != std::floor(d) ||
+      d >= 18446744073709551616.0 /* 2^64 */) {
+    return false;
+  }
+  const auto cast = static_cast<std::uint64_t>(d);
+  return cast == u && static_cast<double>(cast) == d;
+}
+
+bool double_equals_int(double d, std::int64_t i) {
+  if (i >= 0) {
+    return double_equals_uint(d, static_cast<std::uint64_t>(i));
+  }
+  if (d != std::floor(d) || d >= 0.0 ||
+      d < -9223372036854775808.0 /* -2^63 */) {
+    return false;
+  }
+  const auto cast = static_cast<std::int64_t>(d);
+  return cast == i && static_cast<double>(cast) == d;
+}
+
 }  // namespace
+
+Json Json::number(double d) {
+  IAAS_EXPECT(std::isfinite(d),
+              "json: non-finite number cannot be represented");
+  Json j;
+  j.value_ = d;
+  return j;
+}
+
+Json::Type Json::type() const {
+  switch (value_.index()) {
+    case 0:
+      return Type::kNull;
+    case 1:
+      return Type::kBool;
+    case 2:  // double
+    case 3:  // int64
+    case 4:  // uint64
+      return Type::kNumber;
+    case 5:
+      return Type::kString;
+    case 6:
+      return Type::kArray;
+    default:
+      return Type::kObject;
+  }
+}
 
 bool Json::as_bool() const {
   if (const bool* b = std::get_if<bool>(&value_)) {
@@ -25,7 +80,65 @@ double Json::as_number() const {
   if (const double* d = std::get_if<double>(&value_)) {
     return *d;
   }
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_)) {
+    return static_cast<double>(*u);
+  }
   fail("not a number");
+}
+
+std::uint64_t Json::as_uint64() const {
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_)) {
+    return *u;
+  }
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) {
+    if (*i >= 0) {
+      return static_cast<std::uint64_t>(*i);
+    }
+    fail("negative integer is not a uint64");
+  }
+  if (const double* d = std::get_if<double>(&value_)) {
+    const auto cast = static_cast<std::uint64_t>(*d);
+    if (double_equals_uint(*d, cast)) {
+      return cast;
+    }
+    fail("number is not an exact uint64");
+  }
+  fail("not a number");
+}
+
+std::int64_t Json::as_int64() const {
+  if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) {
+    return *i;
+  }
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_)) {
+    if (*u <= static_cast<std::uint64_t>(
+                  std::numeric_limits<std::int64_t>::max())) {
+      return static_cast<std::int64_t>(*u);
+    }
+    fail("integer overflows int64");
+  }
+  if (const double* d = std::get_if<double>(&value_)) {
+    if (*d == std::floor(*d) && *d >= -9223372036854775808.0 &&
+        *d < 9223372036854775808.0) {
+      const auto cast = static_cast<std::int64_t>(*d);
+      if (static_cast<double>(cast) == *d) {
+        return cast;
+      }
+    }
+    fail("number is not an exact int64");
+  }
+  fail("not a number");
+}
+
+bool Json::holds_unsigned() const {
+  return std::holds_alternative<std::uint64_t>(value_);
+}
+
+bool Json::holds_signed() const {
+  return std::holds_alternative<std::int64_t>(value_);
 }
 
 const std::string& Json::as_string() const {
@@ -109,13 +222,51 @@ const std::vector<std::pair<std::string, Json>>& Json::items() const {
   fail("items() on non-object");
 }
 
-bool operator==(const Json& a, const Json& b) { return a.value_ == b.value_; }
+bool operator==(const Json& a, const Json& b) {
+  if (a.type() != b.type()) {
+    return false;
+  }
+  if (a.type() != Json::Type::kNumber) {
+    // Same type -> same variant index for non-numbers; containers
+    // recurse back into this operator through std::vector's ==.
+    return a.value_ == b.value_;
+  }
+  // Numbers compare by value across their three storage forms, so an
+  // integral double equals the integer lexeme it parses back as.
+  if (const double* da = std::get_if<double>(&a.value_)) {
+    if (const double* db = std::get_if<double>(&b.value_)) {
+      return *da == *db;
+    }
+    if (const std::int64_t* ib = std::get_if<std::int64_t>(&b.value_)) {
+      return double_equals_int(*da, *ib);
+    }
+    return double_equals_uint(*da, std::get<std::uint64_t>(b.value_));
+  }
+  if (const std::int64_t* ia = std::get_if<std::int64_t>(&a.value_)) {
+    if (const double* db = std::get_if<double>(&b.value_)) {
+      return double_equals_int(*db, *ia);
+    }
+    if (const std::int64_t* ib = std::get_if<std::int64_t>(&b.value_)) {
+      return *ia == *ib;
+    }
+    const std::uint64_t ub = std::get<std::uint64_t>(b.value_);
+    return *ia >= 0 && static_cast<std::uint64_t>(*ia) == ub;
+  }
+  const std::uint64_t ua = std::get<std::uint64_t>(a.value_);
+  if (const double* db = std::get_if<double>(&b.value_)) {
+    return double_equals_uint(*db, ua);
+  }
+  if (const std::int64_t* ib = std::get_if<std::int64_t>(&b.value_)) {
+    return *ib >= 0 && static_cast<std::uint64_t>(*ib) == ua;
+  }
+  return ua == std::get<std::uint64_t>(b.value_);
+}
 
 // ---------------------------------------------------------------- dump --
 
-namespace {
+namespace json_detail {
 
-void dump_string(const std::string& s, std::string& out) {
+void escape_string(std::string_view s, std::string& out) {
   out += '"';
   for (char c : s) {
     switch (c) {
@@ -153,21 +304,34 @@ void dump_string(const std::string& s, std::string& out) {
   out += '"';
 }
 
-void dump_number(double d, std::string& out) {
-  if (!std::isfinite(d)) {
-    fail("non-finite number cannot be serialised");
-  }
+void format_double(double d, std::string& out) {
+  IAAS_EXPECT(std::isfinite(d),
+              "json: non-finite number cannot be serialised");
   // Round integral values exactly; otherwise shortest round-trip-ish.
+  char buf[32];
   if (d == std::floor(d) && std::fabs(d) < 1e15) {
-    char buf[32];
     std::snprintf(buf, sizeof(buf), "%.0f", d);
-    out += buf;
   } else {
-    char buf[32];
     std::snprintf(buf, sizeof(buf), "%.17g", d);
-    out += buf;
   }
+  out += buf;
 }
+
+void format_uint(std::uint64_t v, std::string& out) {
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, result.ptr);
+}
+
+void format_int(std::int64_t v, std::string& out) {
+  char buf[24];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, result.ptr);
+}
+
+}  // namespace json_detail
+
+namespace {
 
 void newline_indent(std::string& out, int indent, int depth) {
   if (indent < 0) {
@@ -180,20 +344,26 @@ void newline_indent(std::string& out, int indent, int depth) {
 }  // namespace
 
 void Json::dump_to(std::string& out, int indent, int depth) const {
-  switch (type()) {
-    case Type::kNull:
+  switch (value_.index()) {
+    case 0:  // null
       out += "null";
       return;
-    case Type::kBool:
+    case 1:  // bool
       out += std::get<bool>(value_) ? "true" : "false";
       return;
-    case Type::kNumber:
-      dump_number(std::get<double>(value_), out);
+    case 2:  // double
+      json_detail::format_double(std::get<double>(value_), out);
       return;
-    case Type::kString:
-      dump_string(std::get<std::string>(value_), out);
+    case 3:  // int64
+      json_detail::format_int(std::get<std::int64_t>(value_), out);
       return;
-    case Type::kArray: {
+    case 4:  // uint64
+      json_detail::format_uint(std::get<std::uint64_t>(value_), out);
+      return;
+    case 5:  // string
+      json_detail::escape_string(std::get<std::string>(value_), out);
+      return;
+    case 6: {  // array
       const Array& a = std::get<Array>(value_);
       if (a.empty()) {
         out += "[]";
@@ -211,7 +381,7 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
       out += ']';
       return;
     }
-    case Type::kObject: {
+    default: {  // object
       const Object& o = std::get<Object>(value_);
       if (o.empty()) {
         out += "{}";
@@ -223,7 +393,7 @@ void Json::dump_to(std::string& out, int indent, int depth) const {
           out += ',';
         }
         newline_indent(out, indent, depth + 1);
-        dump_string(o[i].first, out);
+        json_detail::escape_string(o[i].first, out);
         out += indent < 0 ? ":" : ": ";
         o[i].second.dump_to(out, indent, depth + 1);
       }
@@ -246,7 +416,7 @@ std::size_t Json::dump_estimate(int indent, int depth) const {
     case Type::kBool:
       return 5;
     case Type::kNumber:
-      return 24;  // "%.17g" worst case + sign
+      return 24;  // "%.17g" / 20-digit uint64 worst case + sign
     case Type::kString:
       // Quotes plus headroom for the occasional escape; a pathological
       // all-escape string just falls back to amortised growth.
@@ -306,6 +476,20 @@ class Parser {
   }
 
  private:
+  // Entered at each container open; throws past Json::kMaxParseDepth so
+  // nesting bombs become parse errors instead of stack overflows.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > Json::kMaxParseDepth) {
+        parser.error("containers nested deeper than kMaxParseDepth");
+      }
+    }
+    ~DepthGuard() { --parser.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& parser;
+  };
+
   [[noreturn]] void error(const std::string& what) const {
     fail(what + " at offset " + std::to_string(pos_));
   }
@@ -371,6 +555,7 @@ class Parser {
 
   Json parse_object() {
     expect('{');
+    DepthGuard depth_guard(*this);
     Json obj = Json::object();
     if (peek() == '}') {
       ++pos_;
@@ -396,6 +581,7 @@ class Parser {
 
   Json parse_array() {
     expect('[');
+    DepthGuard depth_guard(*this);
     Json arr = Json::array();
     if (peek() == ']') {
       ++pos_;
@@ -500,26 +686,68 @@ class Parser {
     if (pos_ < text_.size() && text_[pos_] == '-') {
       ++pos_;
     }
+    bool integral = true;
     while (pos_ < text_.size() &&
            ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
             text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
             text_[pos_] == '+' || text_[pos_] == '-')) {
+      if (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E') {
+        integral = false;
+      }
       ++pos_;
     }
     if (pos_ == start) {
       error("expected a value");
     }
     const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      // Pure digit lexeme (optional sign): parse exactly as a 64-bit
+      // integer so seeds/counters survive past 2^53.  "-0" stays a
+      // double to preserve the signed zero's round-trip text, and
+      // out-of-range magnitudes fall through to the double path.
+      const bool negative = token[0] == '-';
+      bool digits_only = token.size() > (negative ? 1u : 0u);
+      for (std::size_t i = negative ? 1 : 0; i < token.size(); ++i) {
+        if (token[i] < '0' || token[i] > '9') {
+          digits_only = false;
+          break;
+        }
+      }
+      if (digits_only) {
+        errno = 0;
+        char* end = nullptr;
+        if (negative) {
+          const long long v = std::strtoll(token.c_str(), &end, 10);
+          if (errno == 0 && end == token.c_str() + token.size() && v != 0) {
+            return Json::integer(static_cast<std::int64_t>(v));
+          }
+          if (errno == 0 && end == token.c_str() + token.size() && v == 0) {
+            return Json::number(-0.0);
+          }
+        } else {
+          const unsigned long long v =
+              std::strtoull(token.c_str(), &end, 10);
+          if (errno == 0 && end == token.c_str() + token.size()) {
+            return Json::integer(static_cast<std::uint64_t>(v));
+          }
+        }
+        // Overflowed 64 bits: fall through to the double path.
+      }
+    }
     char* end = nullptr;
     const double value = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) {
       error("malformed number");
+    }
+    if (!std::isfinite(value)) {
+      error("number overflows a double");
     }
     return Json::number(value);
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;  // open containers; capped at Json::kMaxParseDepth
 };
 
 }  // namespace

@@ -1,9 +1,9 @@
 #include "io/trace_json.h"
 
-#include <fstream>
 #include <stdexcept>
 
 #include "common/expect.h"
+#include "io/trace_stream.h"
 
 namespace iaas {
 
@@ -14,25 +14,30 @@ namespace {
 }
 
 std::size_t as_size(const Json& j) {
-  return static_cast<std::size_t>(j.as_number());
+  return static_cast<std::size_t>(j.as_uint64());
 }
 
 Json row_to_json(const telemetry::GenerationRow& row) {
   // Mirrors RunTrace::columns() order exactly — check_trace and the
   // notebook joins rely on positional access.
   Json out = Json::array();
+  // Counters as exact integer lexemes (seeds/counters past 2^53 must
+  // not round through a double); objectives and seconds stay doubles.
+  const auto count = [&out](std::size_t v) {
+    out.push_back(Json::integer(static_cast<std::uint64_t>(v)));
+  };
   const auto push = [&out](double v) { out.push_back(Json::number(v)); };
-  push(static_cast<double>(row.generation));
-  push(static_cast<double>(row.evaluations));
-  push(static_cast<double>(row.full_rebuilds));
-  push(static_cast<double>(row.delta_moves));
-  push(static_cast<double>(row.rebases));
-  push(static_cast<double>(row.repair_invocations));
-  push(static_cast<double>(row.repaired));
-  push(static_cast<double>(row.unrepairable));
-  push(static_cast<double>(row.tabu_moves_tried));
-  push(static_cast<double>(row.tabu_moves_accepted));
-  push(static_cast<double>(row.front_size));
+  count(row.generation);
+  count(row.evaluations);
+  count(row.full_rebuilds);
+  count(row.delta_moves);
+  count(row.rebases);
+  count(row.repair_invocations);
+  count(row.repaired);
+  count(row.unrepairable);
+  count(row.tabu_moves_tried);
+  count(row.tabu_moves_accepted);
+  count(row.front_size);
   push(row.best_objectives[0]);
   push(row.best_objectives[1]);
   push(row.best_objectives[2]);
@@ -49,7 +54,7 @@ Json row_to_json(const telemetry::GenerationRow& row) {
 Json trace_to_json(const telemetry::RunTrace& trace) {
   Json out = Json::object();
   out["label"] = Json::string(trace.label);
-  out["seed"] = Json::number(static_cast<double>(trace.seed));
+  out["seed"] = Json::integer(trace.seed);
   Json columns = Json::array();
   for (const std::string& name : telemetry::RunTrace::columns()) {
     columns.push_back(Json::string(name));
@@ -65,24 +70,24 @@ Json trace_to_json(const telemetry::RunTrace& trace) {
 
 void write_trace_json(const telemetry::RunTrace& trace,
                       const std::string& path) {
-  std::ofstream out(path);
-  IAAS_EXPECT(out.is_open(),
-              ("trace_json: cannot open " + path).c_str());
-  // One reusable scratch buffer per thread: dump_into reserves it from a
-  // size estimate, so repeated emitter calls (per-window archives, bench
-  // sweeps) stop paying per-call growth reallocations.
+  // One reusable scratch buffer per thread, fed by the streaming emitter
+  // (no intermediate Json tree); shrunk back after an oversized trace so
+  // one huge run cannot pin peak capacity for the thread's lifetime.
   static thread_local std::string scratch;
-  trace_to_json(trace).dump_into(scratch, 2);
+  scratch.clear();
+  JsonFileSink sink(path);
+  JsonEmitter emitter(scratch, 2);
+  emit_run_trace(emitter, trace);
   scratch += '\n';
-  out << scratch;
-  out.flush();
-  IAAS_EXPECT(out.good(), ("trace_json: write error on " + path).c_str());
+  sink.write(scratch);
+  sink.close();
+  shrink_scratch(scratch);
 }
 
 telemetry::RunTrace trace_from_json(const Json& json) {
   telemetry::RunTrace trace;
   trace.label = json.at("label").as_string();
-  trace.seed = static_cast<std::uint64_t>(json.at("seed").as_number());
+  trace.seed = json.at("seed").as_uint64();
   const auto& expected = telemetry::RunTrace::columns();
   const Json& columns = json.at("columns");
   if (columns.size() != expected.size()) {
@@ -128,15 +133,16 @@ namespace {
 
 Json fault_event_to_json(const FaultEvent& event) {
   Json out = Json::object();
-  out["window"] = Json::number(static_cast<double>(event.window));
+  out["window"] = Json::integer(static_cast<std::uint64_t>(event.window));
   out["kind"] = Json::string(fault_event_kind_name(event.kind));
-  out["index"] = Json::number(static_cast<double>(event.index));
+  out["index"] = Json::integer(static_cast<std::uint64_t>(event.index));
   Json servers = Json::array();
   for (std::uint32_t s : event.servers) {
-    servers.push_back(Json::number(static_cast<double>(s)));
+    servers.push_back(Json::integer(static_cast<std::uint64_t>(s)));
   }
   out["servers"] = std::move(servers);
-  out["mttr_windows"] = Json::number(static_cast<double>(event.mttr_windows));
+  out["mttr_windows"] =
+      Json::integer(static_cast<std::uint64_t>(event.mttr_windows));
   return out;
 }
 
@@ -157,12 +163,12 @@ FaultEvent fault_event_from_json(const Json& json) {
   if (!known) {
     shape_error("unknown fault event kind " + kind);
   }
-  event.index = static_cast<std::uint32_t>(json.at("index").as_number());
+  event.index = static_cast<std::uint32_t>(json.at("index").as_uint64());
   const Json& servers = json.at("servers");
   event.servers.reserve(servers.size());
   for (std::size_t i = 0; i < servers.size(); ++i) {
     event.servers.push_back(
-        static_cast<std::uint32_t>(servers.at(i).as_number()));
+        static_cast<std::uint32_t>(servers.at(i).as_uint64()));
   }
   event.mttr_windows = as_size(json.at("mttr_windows"));
   return event;
@@ -171,7 +177,7 @@ FaultEvent fault_event_from_json(const Json& json) {
 Json provider_metrics_to_json(const ProviderWindowMetrics& p) {
   Json out = Json::object();
   const auto num = [](std::size_t v) {
-    return Json::number(static_cast<double>(v));
+    return Json::integer(static_cast<std::uint64_t>(v));
   };
   out["provider"] = num(p.provider);
   out["online"] = Json::boolean(p.online);
@@ -194,7 +200,7 @@ Json provider_metrics_to_json(const ProviderWindowMetrics& p) {
 
 ProviderWindowMetrics provider_metrics_from_json(const Json& json) {
   ProviderWindowMetrics p;
-  p.provider = static_cast<std::uint32_t>(json.at("provider").as_number());
+  p.provider = static_cast<std::uint32_t>(json.at("provider").as_uint64());
   p.online = json.at("online").as_bool();
   p.price_multiplier = json.at("price_multiplier").as_number();
   p.running = as_size(json.at("running"));
@@ -234,7 +240,7 @@ Json sim_trace_to_json(const std::vector<WindowMetrics>& metrics) {
   for (const WindowMetrics& row : metrics) {
     Json w = Json::object();
     const auto num = [](std::size_t v) {
-      return Json::number(static_cast<double>(v));
+      return Json::integer(static_cast<std::uint64_t>(v));
     };
     w["window"] = num(row.window);
     w["arrived"] = num(row.arrived);
@@ -391,8 +397,7 @@ Json registry_to_json(const telemetry::Registry& registry) {
   const telemetry::CounterBlock block = registry.counters();
   for (std::size_t i = 0; i < telemetry::kCounterCount; ++i) {
     const auto c = static_cast<telemetry::Counter>(i);
-    counters[telemetry::counter_name(c)] =
-        Json::number(static_cast<double>(block[c]));
+    counters[telemetry::counter_name(c)] = Json::integer(block[c]);
   }
   out["counters"] = std::move(counters);
   Json phases = Json::object();

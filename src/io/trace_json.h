@@ -18,15 +18,16 @@ namespace iaas {
 // enough to emit per generation, trivially joinable with the CSV twin.
 Json trace_to_json(const telemetry::RunTrace& trace);
 
-// trace_to_json + pretty-printed write; fails loudly (IAAS_EXPECT) on an
+// Pretty-printed write through the streaming emitter (io/trace_stream —
+// no intermediate Json tree); fails loudly (IAAS_EXPECT) on an
 // unopenable path or a failed write, mirroring common/csv rules.
 void write_trace_json(const telemetry::RunTrace& trace,
                       const std::string& path);
 
 // Inverse of trace_to_json: rebuild a RunTrace from its JSON form.
 // Shape errors (missing keys, short rows, unknown columns) throw
-// std::runtime_error.  Seeds round-trip exactly up to 2^53 (JSON
-// numbers are doubles).
+// std::runtime_error.  Seeds and counters are integer lexemes, so the
+// full 64-bit range round-trips exactly.
 telemetry::RunTrace trace_from_json(const Json& json);
 
 // One simulator horizon as {"windows": [...]}: every WindowMetrics

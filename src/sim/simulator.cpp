@@ -477,6 +477,9 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
     if (live.vms.empty()) {
       row.retry_queue_depth = retries.size();
       metrics.push_back(row);
+      if (window_sink_) {
+        window_sink_(metrics.back());
+      }
       if (!window_counters.empty()) {
         telemetry::Registry::global().flush_counters(window_counters);
       }
@@ -616,6 +619,9 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
       }
     }
     metrics.push_back(row);
+    if (window_sink_) {
+      window_sink_(metrics.back());
+    }
     if (!window_counters.empty()) {
       telemetry::Registry::global().flush_counters(window_counters);
     }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -219,6 +220,16 @@ class CloudSimulator {
   // Run the full horizon; one metrics row per window.
   std::vector<WindowMetrics> run(std::uint64_t seed);
 
+  // Observe each completed WindowMetrics row as run() finishes it (after
+  // the row is final, before the next window starts).  Streaming trace
+  // writers (io/trace_stream) hook in here so a long horizon is flushed
+  // incrementally instead of buffered whole; the callback must not
+  // mutate the row.  Lives here rather than in io because io already
+  // depends on sim.
+  void set_window_sink(std::function<void(const WindowMetrics&)> sink) {
+    window_sink_ = std::move(sink);
+  }
+
   [[nodiscard]] const SimConfig& config() const { return config_; }
 
  private:
@@ -227,6 +238,7 @@ class CloudSimulator {
   SimConfig config_;
   std::unique_ptr<Allocator> allocator_;
   std::unique_ptr<Allocator> fallback_;
+  std::function<void(const WindowMetrics&)> window_sink_;
 };
 
 }  // namespace iaas

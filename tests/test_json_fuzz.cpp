@@ -3,6 +3,9 @@
 // throw std::runtime_error — never crash, hang, or corrupt memory.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -73,27 +76,72 @@ TEST(JsonFuzz, RandomGarbageRejectedGracefully) {
 }
 
 TEST(JsonFuzz, DeeplyNestedArraysHandled) {
-  // 10k-deep nesting: parse must either succeed or throw cleanly (our
-  // parser recurses, so this also bounds stack behaviour at a depth that
-  // fits default stacks).
-  std::string deep;
-  for (int i = 0; i < 10000; ++i) {
-    deep += '[';
-  }
-  deep += '1';
-  for (int i = 0; i < 10000; ++i) {
-    deep += ']';
-  }
-  EXPECT_TRUE(parses(deep));
+  // The parser recurses, so nesting is capped at Json::kMaxParseDepth:
+  // the deepest legal document parses, one level past the cap (and a
+  // 10k-deep bomb) throws a clean parse error instead of overflowing
+  // the stack — the seed parser crashed under ASan on this input.
+  const auto nested = [](int depth) {
+    std::string text(static_cast<std::size_t>(depth), '[');
+    text += '1';
+    text.append(static_cast<std::size_t>(depth), ']');
+    return text;
+  };
+  EXPECT_TRUE(parses(nested(Json::kMaxParseDepth)));
+  EXPECT_FALSE(parses(nested(Json::kMaxParseDepth + 1)));
+  EXPECT_FALSE(parses(nested(10000)));
 }
 
 TEST(JsonFuzz, HugeNumbersAndExponents) {
   EXPECT_TRUE(parses("1e308"));
   EXPECT_TRUE(parses("-1e-308"));
-  // Overflow to inf parses at strtod level; dumping a non-finite value is
-  // the rejected direction.
-  const Json inf = Json::parse("1e999");
-  EXPECT_THROW((void)inf.dump(), std::runtime_error);
+  // Overflow past double range is a parse error — a non-finite value must
+  // never exist inside a Json, so it can never be dumped as illegal text.
+  EXPECT_FALSE(parses("1e999"));
+  EXPECT_FALSE(parses("-1e999"));
+}
+
+TEST(JsonFuzzDeathTest, NonFiniteNumberConstructionAborts) {
+  // Regression for the %.17g nan/inf emission bug: screening now happens
+  // at construction, fail-loud via IAAS_EXPECT.
+  EXPECT_DEATH((void)Json::number(std::numeric_limits<double>::quiet_NaN()),
+               "non-finite");
+  EXPECT_DEATH((void)Json::number(std::numeric_limits<double>::infinity()),
+               "non-finite");
+}
+
+TEST(JsonFuzz, IntegerLexemesRoundTripExactly) {
+  // Counters and seeds past 2^53 must survive text round-trips bit-exactly.
+  const std::uint64_t big = (1ull << 63) + 12345ull;
+  const Json doc = Json::parse(std::to_string(big));
+  EXPECT_TRUE(doc.holds_unsigned());
+  EXPECT_EQ(doc.as_uint64(), big);
+  EXPECT_EQ(Json::parse(doc.dump()).as_uint64(), big);
+
+  const std::int64_t negative = -9007199254740995ll;  // < -(2^53)
+  const Json neg = Json::parse(std::to_string(negative));
+  EXPECT_TRUE(neg.holds_signed());
+  EXPECT_EQ(neg.as_int64(), negative);
+  EXPECT_EQ(Json::parse(neg.dump()).as_int64(), negative);
+
+  // Cross-representation equality: the integer lexeme 7 equals 7.0.
+  EXPECT_EQ(Json::parse("7"), Json::number(7.0));
+  EXPECT_EQ(Json::parse("-3"), Json::number(-3.0));
+  // But a 64-bit value the double can't hold is not equal to its rounding.
+  EXPECT_FALSE(Json::parse(std::to_string(big)) ==
+               Json::number(static_cast<double>(big)));
+
+  // "-0" keeps its sign through a round-trip (stored as double -0.0).
+  const Json minus_zero = Json::parse("-0");
+  EXPECT_EQ(minus_zero.dump(), "-0");
+  EXPECT_TRUE(std::signbit(minus_zero.as_number()));
+
+  // Exact-read guards: truncating reads throw instead of silently lying.
+  EXPECT_THROW((void)Json::number(1.5).as_uint64(), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("-1").as_uint64(), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("18446744073709551615").as_int64(),
+               std::runtime_error);
+  EXPECT_EQ(Json::parse("18446744073709551615").as_uint64(),
+            std::numeric_limits<std::uint64_t>::max());
 }
 
 TEST(JsonFuzz, MutatedInstanceDeserialisationNeverCrashes) {

@@ -1,0 +1,471 @@
+// The streaming trace path (io/emit + io/trace_stream) and the compact
+// binary trace format (io/trace_binary): emitter-vs-tree byte
+// equivalence, incremental per-window flushing, and lossless binary
+// round trips over every trace flavour (faulted, admission-controlled,
+// sharded, brokered).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algo/nsga_allocators.h"
+#include "algo/sharded_allocator.h"
+#include "broker/multicloud_sim.h"
+#include "io/emit.h"
+#include "io/json.h"
+#include "io/trace_binary.h"
+#include "io/trace_json.h"
+#include "io/trace_stream.h"
+#include "sim/simulator.h"
+
+namespace iaas {
+namespace {
+
+std::string load_text(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// --- JsonEmitter vs Json::dump --------------------------------------
+
+// A document covering every emitter branch: empty containers, nesting,
+// escapes, integral doubles, fractional doubles, negative zero, bools,
+// null, 64-bit integer lexemes.
+Json tricky_document() {
+  Json doc = Json::object();
+  doc["empty_object"] = Json::object();
+  doc["empty_array"] = Json::array();
+  doc["escapes"] = Json::string("quote\" slash\\ tab\t nl\n ctl\x01");
+  doc["numbers"] = Json::array();
+  doc["numbers"].push_back(Json::number(42.0));   // integral double
+  doc["numbers"].push_back(Json::number(0.1));    // 17-digit mantissa
+  doc["numbers"].push_back(Json::number(-0.0));   // signed zero
+  doc["numbers"].push_back(Json::number(1e300));  // huge magnitude
+  doc["numbers"].push_back(Json::integer(std::uint64_t{1} << 63));
+  doc["numbers"].push_back(Json::integer(std::int64_t{-42}));
+  doc["flags"] = Json::array();
+  doc["flags"].push_back(Json::boolean(true));
+  doc["flags"].push_back(Json::boolean(false));
+  doc["flags"].push_back(Json::null());
+  Json nested = Json::object();
+  nested["inner"] = Json::array();
+  nested["inner"].push_back(Json::string("x"));
+  doc["nested"] = nested;
+  return doc;
+}
+
+// Drive an emitter through the same structure by hand.
+void emit_tricky(JsonEmitter& e) {
+  e.begin_object();
+  e.key("empty_object");
+  e.begin_object();
+  e.end_object();
+  e.key("empty_array");
+  e.begin_array();
+  e.end_array();
+  e.key("escapes");
+  e.value("quote\" slash\\ tab\t nl\n ctl\x01");
+  e.key("numbers");
+  e.begin_array();
+  e.value(42.0);
+  e.value(0.1);
+  e.value(-0.0);
+  e.value(1e300);
+  e.value(std::uint64_t{1} << 63);
+  e.value(std::int64_t{-42});
+  e.end_array();
+  e.key("flags");
+  e.begin_array();
+  e.value(true);
+  e.value(false);
+  e.value_null();
+  e.end_array();
+  e.key("nested");
+  e.begin_object();
+  e.key("inner");
+  e.begin_array();
+  e.value("x");
+  e.end_array();
+  e.end_object();
+  e.end_object();
+}
+
+TEST(JsonEmitter, MatchesTreeDumpByteForByte) {
+  const Json doc = tricky_document();
+  for (int indent : {-1, 0, 2, 4}) {
+    std::string streamed;
+    JsonEmitter e(streamed, indent);
+    emit_tricky(e);
+    EXPECT_EQ(streamed, doc.dump(indent)) << "indent " << indent;
+  }
+}
+
+TEST(JsonEmitter, EmitJsonWalkerMatchesDumpAndKeepsIntegerLexemes) {
+  // Parse a document whose integers exceed 2^53 — a double path would
+  // corrupt them; the walker must re-emit the exact lexemes.
+  const std::string text =
+      R"({"seed": 9223372036854775809, "neg": -9007199254740995,)"
+      R"( "d": 1.5, "rows": [1, 2, 3]})";
+  const Json doc = Json::parse(text);
+  for (int indent : {-1, 2}) {
+    std::string streamed;
+    JsonEmitter e(streamed, indent);
+    emit_json(e, doc);
+    EXPECT_EQ(streamed, doc.dump(indent));
+  }
+  EXPECT_NE(doc.dump().find("9223372036854775809"), std::string::npos);
+}
+
+TEST(JsonEmitter, FlushChunksConcatenateToTheExactDocument) {
+  const Json doc = tricky_document();
+  std::string buffer;
+  JsonEmitter e(buffer, 2);
+  std::string collected;
+  std::size_t chunks = 0;
+  e.set_flush(
+      [&](std::string_view chunk) {
+        collected.append(chunk);
+        ++chunks;
+      },
+      /*threshold=*/16);
+  emit_tricky(e);
+  collected.append(buffer);  // tail below the threshold
+  EXPECT_EQ(collected, doc.dump(2));
+  EXPECT_GT(chunks, 1u);
+  // The buffer high-water mark is bounded by threshold + one token, not
+  // by the document size.
+  EXPECT_LT(e.peak_buffer_bytes(), collected.size());
+  EXPECT_LE(e.peak_buffer_bytes(), std::size_t{16} + 64);
+  // bytes_emitted counts the flushed bytes; the sub-threshold tail is
+  // still sitting in the buffer.
+  EXPECT_EQ(e.bytes_emitted() + buffer.size(), collected.size());
+}
+
+// --- simulation fixtures --------------------------------------------
+
+// A horizon with fault events, retries, degraded windows and nested
+// allocator traces (mirrors test_trace_archive's eventful_run).
+std::vector<WindowMetrics> eventful_run() {
+  SimConfig cfg;
+  cfg.windows = 5;
+  cfg.arrivals_per_window_mean = 12.0;
+  cfg.scenario = ScenarioConfig::paper_scale(16);
+  cfg.faults.scripted = {{1, /*leaf_level=*/true, 0, /*mttr_windows=*/2,
+                          false},
+                         {3, false, 9, 1, /*decommission=*/true}};
+  cfg.retry.max_attempts = 3;
+  cfg.allocator_deadline_seconds = 1e-9;
+  EaAllocatorOptions options;
+  options.nsga.population_size = 16;
+  options.nsga.max_evaluations = 320;
+  options.nsga.reference_divisions = 4;
+  options.nsga.collect_trace = true;
+  CloudSimulator sim(cfg, std::make_unique<Nsga3Allocator>(options));
+  return sim.run(29);
+}
+
+// Admission-controlled horizon: the admission block columns go nonzero.
+std::vector<WindowMetrics> admission_run() {
+  SimConfig cfg;
+  cfg.windows = 6;
+  cfg.arrival_schedule = {14, 4};
+  cfg.departure_probability = 0.2;
+  cfg.scenario = ScenarioConfig::paper_scale(16);
+  cfg.scenario.vms = 0;
+  cfg.max_admissions_per_window = 8;
+  cfg.admission_queue_limit = 20;
+  cfg.retry.max_attempts = 2;
+  EaAllocatorOptions options;
+  options.nsga.population_size = 16;
+  options.nsga.max_evaluations = 320;
+  options.nsga.reference_divisions = 4;
+  CloudSimulator sim(cfg, std::make_unique<Nsga3TabuAllocator>(options));
+  return sim.run(7);
+}
+
+// Sharded horizon: ShardRunStats flows into the trace's shard block.
+std::vector<WindowMetrics> sharded_run() {
+  SimConfig cfg;
+  cfg.windows = 4;
+  cfg.arrivals_per_window_mean = 10.0;
+  cfg.scenario = ScenarioConfig::paper_scale(32, 2);
+  ShardedAllocatorOptions options;
+  options.shard_count = 2;
+  options.threads = 1;
+  options.suite.ea.nsga.population_size = 16;
+  options.suite.ea.nsga.max_evaluations = 320;
+  options.suite.ea.nsga.reference_divisions = 4;
+  CloudSimulator sim(cfg, std::make_unique<ShardedAllocator>(options));
+  return sim.run(11);
+}
+
+// Brokered multi-cloud horizon: per-provider rows land in the trace.
+std::vector<WindowMetrics> brokered_run() {
+  ScenarioConfig tiny;
+  tiny.datacenters = 1;
+  tiny.total_servers = 16;
+  tiny.servers_per_leaf = 8;
+  tiny.vms = 0;
+
+  CloudMarketConfig market;
+  ProviderConfig alpha;
+  alpha.id = "alpha";
+  alpha.scenario = tiny;
+  alpha.pricing.billing = BillingModel::kOnDemand;
+  ProviderConfig beta;
+  beta.id = "beta";
+  beta.scenario = tiny;
+  beta.pricing.billing = BillingModel::kReserved;
+  beta.pricing.reserved_multiplier = 0.6;
+  market.providers = {alpha, beta};
+
+  MultiCloudSimConfig cfg;
+  cfg.windows = 6;
+  cfg.arrival_schedule = {8, 6, 4};
+  cfg.departure_probability = 0.1;
+  cfg.retry.max_attempts = 3;
+  cfg.market = market;
+  cfg.request_shape = tiny;
+  MultiCloudSimulator sim(cfg);
+  return sim.run(13);
+}
+
+std::string canonical_sim_trace_text(
+    const std::vector<WindowMetrics>& rows) {
+  return sim_trace_to_json(rows).dump(2) + "\n";
+}
+
+// --- streaming writers ----------------------------------------------
+
+TEST(SimTraceStreaming, FileIsByteIdenticalToTheTreeDump) {
+  const std::vector<WindowMetrics> rows = eventful_run();
+  ASSERT_GT(summarize(rows).fault_events, 0u);
+  const std::string path = temp_path("iaas_trace_stream.json");
+  write_sim_trace_json(rows, path);
+  EXPECT_EQ(load_text(path), canonical_sim_trace_text(rows));
+  std::filesystem::remove(path);
+}
+
+TEST(SimTraceStreaming, PerWindowSinkFlushesIncrementally) {
+  SimConfig cfg;
+  cfg.windows = 6;
+  cfg.arrivals_per_window_mean = 8.0;
+  cfg.scenario = ScenarioConfig::paper_scale(16);
+  cfg.faults.server_failure_probability = 0.1;
+  cfg.faults.mttr_min_windows = 1;
+  cfg.faults.mttr_max_windows = 2;
+  cfg.retry.max_attempts = 2;
+  EaAllocatorOptions options;
+  options.nsga.population_size = 16;
+  options.nsga.max_evaluations = 320;
+  options.nsga.reference_divisions = 4;
+  CloudSimulator sim(cfg, std::make_unique<Nsga3TabuAllocator>(options));
+
+  const std::string path = temp_path("iaas_trace_incremental.json");
+  SimTraceWriter writer(path);
+  std::size_t observed = 0;
+  std::size_t bytes_mid_run = 0;
+  sim.set_window_sink([&](const WindowMetrics& row) {
+    writer.append(row);
+    ++observed;
+    if (observed == 3) {
+      // The first windows are already on disk while the run continues —
+      // that is the whole point of the streaming path.
+      bytes_mid_run = std::filesystem::file_size(path);
+    }
+  });
+  const std::vector<WindowMetrics> rows = sim.run(17);
+  writer.finish();
+
+  EXPECT_EQ(observed, rows.size());
+  EXPECT_EQ(writer.windows_written(), rows.size());
+  EXPECT_GT(bytes_mid_run, 0u);
+  EXPECT_LT(bytes_mid_run, writer.bytes_written());
+  // Peak emission memory is one window, not the horizon.
+  EXPECT_LT(writer.peak_buffer_bytes(), writer.bytes_written());
+  EXPECT_EQ(load_text(path), canonical_sim_trace_text(rows));
+  std::filesystem::remove(path);
+}
+
+TEST(SimTraceStreaming, EmptyHorizonStillFormsAValidDocument) {
+  const std::string path = temp_path("iaas_trace_empty.json");
+  {
+    SimTraceWriter writer(path);
+    writer.finish();
+  }
+  const std::vector<WindowMetrics> parsed =
+      sim_trace_from_json(Json::parse(load_text(path)));
+  EXPECT_TRUE(parsed.empty());
+  std::filesystem::remove(path);
+}
+
+TEST(TraceScratch, ShrinksPastRetainThreshold) {
+  std::string scratch;
+  scratch.assign(kTraceScratchRetainBytes * 2, 'x');
+  shrink_scratch(scratch);
+  EXPECT_TRUE(scratch.empty());
+  EXPECT_LT(scratch.capacity(), kTraceScratchRetainBytes);
+  // A buffer within the retain threshold is left alone — its warm
+  // capacity (and contents) survive for the next document.
+  scratch.assign(512, 'y');
+  const std::size_t warm = scratch.capacity();
+  shrink_scratch(scratch);
+  EXPECT_EQ(scratch.size(), 512u);
+  EXPECT_EQ(scratch.capacity(), warm);
+}
+
+// --- binary round trips ---------------------------------------------
+
+void expect_binary_roundtrip(const std::vector<WindowMetrics>& rows,
+                             const std::string& tag) {
+  SCOPED_TRACE(tag);
+  const std::string path = temp_path("iaas_trace_" + tag + ".trc");
+  write_binary_sim_trace(rows, path);
+  ASSERT_TRUE(is_binary_trace_file(path));
+  EXPECT_EQ(binary_trace_kind(path), BinaryTraceKind::kSimTrace);
+  const std::vector<WindowMetrics> reloaded =
+      read_binary_sim_trace(path);
+  EXPECT_EQ(deterministic_fingerprint(reloaded),
+            deterministic_fingerprint(rows));
+  // Lossless beyond the fingerprint: the reloaded rows re-emit to the
+  // exact canonical JSON text (wall clocks and all).
+  EXPECT_EQ(canonical_sim_trace_text(reloaded),
+            canonical_sim_trace_text(rows));
+  // And the streaming binary writer produces the same file.
+  const std::string streamed_path =
+      temp_path("iaas_trace_" + tag + "_streamed.trc");
+  {
+    BinaryTraceWriter writer(streamed_path);
+    for (const WindowMetrics& row : rows) {
+      writer.append(row);
+    }
+    writer.finish();
+    EXPECT_EQ(writer.windows_written(), rows.size());
+  }
+  EXPECT_EQ(load_text(streamed_path), load_text(path));
+  std::filesystem::remove(path);
+  std::filesystem::remove(streamed_path);
+}
+
+TEST(BinaryTrace, FaultedTraceRoundTrips) {
+  const std::vector<WindowMetrics> rows = eventful_run();
+  bool has_trace = false;
+  for (const WindowMetrics& w : rows) {
+    has_trace = has_trace || !w.allocator_trace.empty();
+  }
+  ASSERT_TRUE(has_trace);  // nested run traces must be exercised
+  expect_binary_roundtrip(rows, "faulted");
+}
+
+TEST(BinaryTrace, AdmissionTraceRoundTrips) {
+  const std::vector<WindowMetrics> rows = admission_run();
+  const SimSummary summary = summarize(rows);
+  ASSERT_GT(summary.admission_deferred, 0u);  // block present
+  expect_binary_roundtrip(rows, "admission");
+}
+
+TEST(BinaryTrace, ShardedTraceRoundTrips) {
+  const std::vector<WindowMetrics> rows = sharded_run();
+  bool has_shards = false;
+  for (const WindowMetrics& w : rows) {
+    has_shards = has_shards || w.shard.shard_count > 0;
+  }
+  ASSERT_TRUE(has_shards);
+  expect_binary_roundtrip(rows, "sharded");
+}
+
+TEST(BinaryTrace, BrokeredTraceRoundTrips) {
+  const std::vector<WindowMetrics> rows = brokered_run();
+  bool has_providers = false;
+  for (const WindowMetrics& w : rows) {
+    has_providers = has_providers || !w.providers.empty();
+  }
+  ASSERT_TRUE(has_providers);
+  expect_binary_roundtrip(rows, "brokered");
+}
+
+TEST(BinaryTrace, RunTraceWithHuge64BitSeedRoundTrips) {
+  telemetry::RunTrace trace;
+  trace.label = "huge-seed";
+  trace.seed = (std::uint64_t{1} << 63) + 12345;  // > 2^53: a double
+                                                  // path would corrupt it
+  telemetry::GenerationRow row;
+  row.generation = 1;
+  row.evaluations = (std::uint64_t{1} << 53) + 7;
+  row.front_size = 3;
+  row.best_objectives = {1.0, 2.0, 3.0};
+  row.seconds_evaluate = 0.25;
+  trace.rows.push_back(row);
+
+  // Through JSON (integer lexemes)...
+  const telemetry::RunTrace via_json =
+      trace_from_json(Json::parse(trace_to_json(trace).dump()));
+  EXPECT_EQ(via_json.seed, trace.seed);
+  EXPECT_EQ(via_json.rows[0].evaluations, trace.rows[0].evaluations);
+
+  // ...and through the binary format.
+  const std::string path = temp_path("iaas_trace_runtrace.trc");
+  write_binary_run_trace(trace, path);
+  EXPECT_EQ(binary_trace_kind(path), BinaryTraceKind::kRunTrace);
+  const telemetry::RunTrace reloaded = read_binary_run_trace(path);
+  EXPECT_EQ(reloaded.seed, trace.seed);
+  EXPECT_EQ(reloaded.label, trace.label);
+  ASSERT_EQ(reloaded.rows.size(), 1u);
+  EXPECT_EQ(reloaded.rows[0].evaluations, trace.rows[0].evaluations);
+  EXPECT_DOUBLE_EQ(reloaded.rows[0].seconds_evaluate, 0.25);
+  EXPECT_EQ(trace_to_json(reloaded).dump(), trace_to_json(trace).dump());
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryTrace, MalformedInputThrows) {
+  const std::string path = temp_path("iaas_trace_bad.trc");
+  // Not a binary trace at all.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"windows\": []}\n";
+  }
+  EXPECT_FALSE(is_binary_trace_file(path));
+  EXPECT_THROW(binary_trace_kind(path), std::runtime_error);
+  EXPECT_THROW(read_binary_sim_trace(path), std::runtime_error);
+
+  // A valid trace truncated mid-stream loses its end marker.
+  const std::vector<WindowMetrics> rows = admission_run();
+  write_binary_sim_trace(rows, path);
+  const std::string full = load_text(path);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << full.substr(0, full.size() / 2);
+  }
+  EXPECT_TRUE(is_binary_trace_file(path));
+  EXPECT_THROW(read_binary_sim_trace(path), std::runtime_error);
+
+  // Kind confusion: a sim trace is not a run trace.
+  write_binary_sim_trace(rows, path);
+  EXPECT_THROW(read_binary_run_trace(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryTrace, CompactsRichTracesByFiveTimesOrMore) {
+  const std::vector<WindowMetrics> rows = eventful_run();
+  const std::string path = temp_path("iaas_trace_ratio.trc");
+  write_binary_sim_trace(rows, path);
+  const std::size_t binary_bytes = std::filesystem::file_size(path);
+  const std::size_t json_bytes = canonical_sim_trace_text(rows).size();
+  EXPECT_GE(json_bytes, binary_bytes * 5)
+      << "json " << json_bytes << " vs binary " << binary_bytes;
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace iaas
