@@ -1,0 +1,394 @@
+// Fairness scenario-matrix driver (DESIGN.md §14): sweeps strategic
+// consumer fraction (0 / 10 / 25 / 50%) x allocator (NSGA-III+Tabu, CP,
+// round-robin, sharded) over a steady-state horizon with per-consumer
+// identities, reporting the fairness/welfare columns (Jain short/long
+// term, envy, utilization Pareto efficiency, honest vs strategic
+// welfare, energy cost) and emitting BENCH_fairness.json.
+//
+// Tiers (IAAS_BENCH_FAST selects the smoke tier):
+//   fast      32 servers /  2 DCs,  6 windows x 15 arrivals,  8 consumers
+//   default  128 servers /  4 DCs, 20 windows x 60 arrivals, 24 consumers
+//
+// Gates (all hard, any tier):
+//   honest welfare   per allocator, mean honest-consumer welfare at any
+//                    strategic fraction must stay >= floor x the
+//                    fraction-0 baseline (floor = 0.5, overridable via
+//                    IAAS_FAIRNESS_WELFARE_FLOOR) — strategic consumers
+//                    must not collapse service for truthful ones.
+//   differential     fraction-0 cells must carry zero strategic VMs.
+//   thread invariance the NSGA cell at fraction 25% re-runs with 1 and
+//                    2 EA threads; fingerprints must be bit-identical.
+//   trace round trip the NSGA cells stream JSON + binary traces through
+//                    the per-window sink; each binary trace must reload
+//                    to the exact cell fingerprint.  The JSON files land
+//                    in IAAS_BENCH_CSV_DIR, so the trace_convert_roundtrip
+//                    / trace_validate ctest fixtures re-check them.
+//
+// Every cell fingerprint is printed as a deterministic_fingerprint=
+// line: the CI telemetry job diffs the full set between telemetry-ON
+// and telemetry-OFF builds.  CP cells cap the solver by backtracks, not
+// wall clock, so every cell is bit-deterministic.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/registry.h"
+#include "algo/sharded_allocator.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "io/emit.h"
+#include "io/trace_binary.h"
+#include "io/trace_stream.h"
+#include "sim/simulator.h"
+#include "workload/scenario_config.h"
+#include "workload/strategic.h"
+
+namespace {
+
+struct Tier {
+  const char* name = "default";
+  std::uint32_t servers = 128;
+  std::uint32_t datacenters = 4;
+  std::size_t windows = 20;
+  double arrivals = 100.0;
+  std::uint32_t consumers = 24;
+};
+
+struct Cell {
+  std::string algorithm;
+  int fraction_percent = 0;
+  double mean_jain = 0.0;
+  double final_long_term_jain = 0.0;
+  double mean_envy = 0.0;
+  double mean_utilization = 0.0;
+  double mean_honest_welfare = 0.0;
+  double mean_strategic_welfare = 0.0;
+  double mean_energy = 0.0;
+  std::size_t strategic_vms = 0;  // total over the horizon
+  std::size_t rejected = 0;       // permanent rejections
+  std::uint64_t fingerprint = 0;
+};
+
+iaas::SuiteOptions lean_suite() {
+  iaas::SuiteOptions suite;
+  suite.ea.nsga.population_size = 24;
+  suite.ea.nsga.max_evaluations = 960;
+  suite.ea.nsga.reference_divisions = 4;
+  suite.ea.nsga.threads = 0;
+  // Determinism: bound the CP baseline by backtracks (deterministic)
+  // instead of wall clock, so cell fingerprints never depend on host
+  // speed or telemetry overhead.
+  suite.cp.time_limit_seconds = 1e9;
+  suite.cp.max_backtracks = 20000;
+  return suite;
+}
+
+iaas::SimConfig make_sim_config(const Tier& tier, double fraction) {
+  iaas::SimConfig sim;
+  sim.windows = tier.windows;
+  sim.arrivals_per_window_mean = tier.arrivals;
+  sim.departure_probability = 0.15;
+  sim.retry.max_attempts = 2;
+  sim.retry.backoff_base_windows = 1;
+  sim.scenario =
+      iaas::ScenarioConfig::paper_scale(tier.servers, tier.datacenters);
+  sim.scenario.vms = 0;  // the simulator generates arrivals itself
+  sim.scenario.consumers = tier.consumers;
+  sim.scenario.strategic.strategic_fraction = fraction;
+  sim.scenario.strategic.profiles = iaas::default_strategy_profiles();
+  return sim;
+}
+
+std::unique_ptr<iaas::Allocator> make_cell_allocator(
+    const std::string& kind, const iaas::SuiteOptions& suite) {
+  if (kind == "sharded") {
+    iaas::ShardedAllocatorOptions options;
+    options.shard_count = 0;  // one shard per datacenter
+    options.suite = suite;
+    return std::make_unique<iaas::ShardedAllocator>(options);
+  }
+  if (kind == "cp") {
+    return iaas::make_allocator(iaas::AlgorithmId::kConstraintProgramming,
+                                suite);
+  }
+  if (kind == "round_robin") {
+    return iaas::make_allocator(iaas::AlgorithmId::kRoundRobin, suite);
+  }
+  return iaas::make_allocator(iaas::AlgorithmId::kNsga3Tabu, suite);
+}
+
+Cell run_cell(const Tier& tier, const std::string& kind, int percent,
+              const iaas::SuiteOptions& suite, std::uint64_t seed,
+              const std::string& trace_base) {
+  Cell cell;
+  cell.fraction_percent = percent;
+  std::unique_ptr<iaas::Allocator> alloc = make_cell_allocator(kind, suite);
+  cell.algorithm = alloc->name();
+  iaas::CloudSimulator sim(
+      make_sim_config(tier, static_cast<double>(percent) / 100.0),
+      std::move(alloc));
+  std::unique_ptr<iaas::SimTraceWriter> json_writer;
+  std::unique_ptr<iaas::BinaryTraceWriter> binary_writer;
+  if (!trace_base.empty()) {
+    json_writer =
+        std::make_unique<iaas::SimTraceWriter>(trace_base + ".json");
+    binary_writer =
+        std::make_unique<iaas::BinaryTraceWriter>(trace_base + ".trc");
+    sim.set_window_sink([&](const iaas::WindowMetrics& row) {
+      json_writer->append(row);
+      binary_writer->append(row);
+    });
+  }
+  const std::vector<iaas::WindowMetrics> rows = sim.run(seed);
+  if (json_writer != nullptr) {
+    json_writer->finish();
+    binary_writer->finish();
+  }
+  cell.fingerprint = iaas::deterministic_fingerprint(rows);
+  std::size_t scored = 0;
+  for (const iaas::WindowMetrics& row : rows) {
+    cell.rejected += row.permanently_rejected;
+    if (row.fairness.consumers == 0) {
+      continue;  // empty window: no fairness columns
+    }
+    ++scored;
+    cell.mean_jain += row.fairness.jain_index;
+    cell.final_long_term_jain = row.fairness.long_term_jain;
+    cell.mean_envy += row.fairness.envy;
+    cell.mean_utilization += row.fairness.utilization_efficiency;
+    cell.mean_honest_welfare += row.fairness.honest_welfare;
+    cell.mean_strategic_welfare += row.fairness.strategic_welfare;
+    cell.mean_energy += row.fairness.energy_cost;
+    cell.strategic_vms += row.fairness.strategic_vms;
+  }
+  if (scored > 0) {
+    const double d = static_cast<double>(scored);
+    cell.mean_jain /= d;
+    cell.mean_envy /= d;
+    cell.mean_utilization /= d;
+    cell.mean_honest_welfare /= d;
+    cell.mean_strategic_welfare /= d;
+    cell.mean_energy /= d;
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  using namespace iaas;
+  using iaas::bench::csv_dir;
+
+  std::printf("=== Fairness scenario matrix ===\n");
+
+  Tier tier;
+  if (std::getenv("IAAS_BENCH_FAST") != nullptr) {
+    tier = {"fast", 32, 2, 6, 30.0, 8};
+  }
+  const std::uint64_t seed = 20170529;
+  const SuiteOptions suite = lean_suite();
+  const std::vector<int> fractions = {0, 10, 25, 50};
+  const std::vector<std::string> kinds = {"nsga3_tabu", "cp", "round_robin",
+                                          "sharded"};
+
+  std::printf("tier %s: %u servers / %u DCs, %zu windows, %.0f mean "
+              "arrivals/window, %u consumers\n",
+              tier.name, tier.servers, tier.datacenters, tier.windows,
+              tier.arrivals, tier.consumers);
+
+  std::vector<Cell> cells;
+  for (const std::string& kind : kinds) {
+    for (int percent : fractions) {
+      // Only the NSGA cells stream traces: four files is plenty for the
+      // round-trip fixtures without flooding the smoke directory.
+      const std::string trace_base =
+          kind == "nsga3_tabu"
+              ? csv_dir() + "/trace_fairness_f" + std::to_string(percent)
+              : std::string();
+      cells.push_back(run_cell(tier, kind, percent, suite, seed, trace_base));
+    }
+  }
+
+  TextTable table({"allocator", "strategic%", "jain", "long-term jain",
+                   "envy", "util eff", "honest welfare", "strategic welfare",
+                   "energy", "rejected"});
+  for (const Cell& cell : cells) {
+    table.add_row({cell.algorithm, std::to_string(cell.fraction_percent),
+                   TextTable::num(cell.mean_jain, 4),
+                   TextTable::num(cell.final_long_term_jain, 4),
+                   TextTable::num(cell.mean_envy, 4),
+                   TextTable::num(cell.mean_utilization, 4),
+                   TextTable::num(cell.mean_honest_welfare, 4),
+                   TextTable::num(cell.mean_strategic_welfare, 4),
+                   TextTable::num(cell.mean_energy, 1),
+                   std::to_string(cell.rejected)});
+  }
+  table.print();
+
+  // The telemetry CI job diffs these lines between ON and OFF builds.
+  for (const Cell& cell : cells) {
+    std::printf("deterministic_fingerprint=%016llx  # %s/f%d\n",
+                static_cast<unsigned long long>(cell.fingerprint),
+                cell.algorithm.c_str(), cell.fraction_percent);
+  }
+
+  bool ok = true;
+
+  // --- differential gate: fraction 0 must stay honest ------------------
+  for (const Cell& cell : cells) {
+    if (cell.fraction_percent == 0 && cell.strategic_vms != 0) {
+      std::fprintf(stderr,
+                   "FAIL: [%s] %zu strategic VMs at strategic_fraction 0\n",
+                   cell.algorithm.c_str(), cell.strategic_vms);
+      ok = false;
+    }
+    if (cell.fraction_percent > 0 && cell.strategic_vms == 0) {
+      std::fprintf(stderr,
+                   "FAIL: [%s/f%d] strategic mode produced no strategic "
+                   "VMs\n",
+                   cell.algorithm.c_str(), cell.fraction_percent);
+      ok = false;
+    }
+  }
+
+  // --- honest-welfare gate ---------------------------------------------
+  double floor = 0.5;
+  if (const char* env = std::getenv("IAAS_FAIRNESS_WELFARE_FLOOR")) {
+    floor = std::strtod(env, nullptr);
+  }
+  // Cells are grouped by allocator in insertion order: fractions.size()
+  // consecutive cells per allocator, fraction 0 first.
+  const std::size_t per_alloc = fractions.size();
+  for (std::size_t a = 0; a < kinds.size(); ++a) {
+    const Cell& baseline = cells[a * per_alloc];
+    if (baseline.mean_honest_welfare <= 1e-9) {
+      std::printf("welfare gate skipped for %s: zero baseline\n",
+                  baseline.algorithm.c_str());
+      continue;
+    }
+    for (std::size_t f = 1; f < per_alloc; ++f) {
+      const Cell& cell = cells[a * per_alloc + f];
+      const double ratio =
+          cell.mean_honest_welfare / baseline.mean_honest_welfare;
+      if (ratio < floor) {
+        std::fprintf(stderr,
+                     "FAIL: [%s/f%d] honest welfare collapsed to %.4f of "
+                     "the honest baseline (floor %.2f)\n",
+                     cell.algorithm.c_str(), cell.fraction_percent, ratio,
+                     floor);
+        ok = false;
+      }
+    }
+  }
+  std::printf("honest-welfare gate: floor %.2f of the fraction-0 baseline\n",
+              floor);
+
+  // --- thread-invariance gate ------------------------------------------
+  {
+    std::uint64_t digests[2] = {0, 0};
+    for (int t = 1; t <= 2; ++t) {
+      SuiteOptions threaded = suite;
+      threaded.ea.nsga.threads = static_cast<std::size_t>(t);
+      const Cell probe =
+          run_cell(tier, "nsga3_tabu", 25, threaded, seed, std::string());
+      digests[t - 1] = probe.fingerprint;
+    }
+    if (digests[0] != digests[1]) {
+      std::fprintf(stderr,
+                   "FAIL: strategic fingerprint differs across EA thread "
+                   "counts (%016llx vs %016llx)\n",
+                   static_cast<unsigned long long>(digests[0]),
+                   static_cast<unsigned long long>(digests[1]));
+      ok = false;
+    } else {
+      std::printf("thread-invariance gate passed: %016llx at 1 and 2 "
+                  "threads\n",
+                  static_cast<unsigned long long>(digests[0]));
+    }
+  }
+
+  // --- binary trace reload gate ----------------------------------------
+  for (int percent : fractions) {
+    const std::string path =
+        csv_dir() + "/trace_fairness_f" + std::to_string(percent) + ".trc";
+    const Cell& cell = cells[static_cast<std::size_t>(
+        std::find(fractions.begin(), fractions.end(), percent) -
+        fractions.begin())];
+    const std::uint64_t reloaded =
+        deterministic_fingerprint(read_binary_sim_trace(path));
+    if (reloaded != cell.fingerprint) {
+      std::fprintf(stderr,
+                   "FAIL: [%s/f%d] binary trace reload changed the "
+                   "fingerprint\n",
+                   cell.algorithm.c_str(), percent);
+      ok = false;
+    }
+  }
+
+  const std::string json_path = csv_dir() + "/BENCH_fairness.json";
+  {
+    std::string out;
+    JsonEmitter e(out, 2);
+    e.begin_object();
+    e.key("bench");
+    e.value("fairness_matrix");
+    e.key("tier");
+    e.value(tier.name);
+    e.key("servers");
+    e.value(static_cast<std::uint64_t>(tier.servers));
+    e.key("datacenters");
+    e.value(static_cast<std::uint64_t>(tier.datacenters));
+    e.key("windows");
+    e.value(static_cast<std::uint64_t>(tier.windows));
+    e.key("consumers");
+    e.value(static_cast<std::uint64_t>(tier.consumers));
+    e.key("welfare_floor");
+    e.value(floor);
+    e.key("cells");
+    e.begin_array();
+    for (const Cell& cell : cells) {
+      char digest[17];
+      std::snprintf(digest, sizeof digest, "%016llx",
+                    static_cast<unsigned long long>(cell.fingerprint));
+      e.begin_object();
+      e.key("algorithm");
+      e.value(cell.algorithm);
+      e.key("strategic_fraction");
+      e.value(static_cast<double>(cell.fraction_percent) / 100.0);
+      e.key("mean_jain");
+      e.value(cell.mean_jain);
+      e.key("final_long_term_jain");
+      e.value(cell.final_long_term_jain);
+      e.key("mean_envy");
+      e.value(cell.mean_envy);
+      e.key("mean_utilization_efficiency");
+      e.value(cell.mean_utilization);
+      e.key("mean_honest_welfare");
+      e.value(cell.mean_honest_welfare);
+      e.key("mean_strategic_welfare");
+      e.value(cell.mean_strategic_welfare);
+      e.key("mean_energy_cost");
+      e.value(cell.mean_energy);
+      e.key("strategic_vms");
+      e.value(static_cast<std::uint64_t>(cell.strategic_vms));
+      e.key("rejected");
+      e.value(static_cast<std::uint64_t>(cell.rejected));
+      e.key("fingerprint");
+      e.value(digest);
+      e.end_object();
+    }
+    e.end_array();
+    e.end_object();
+    out += '\n';
+    JsonFileSink sink(json_path);
+    sink.write(out);
+    sink.close();
+    std::printf("\nWrote %s\n", json_path.c_str());
+  }
+
+  return ok ? 0 : 1;
+}

@@ -90,6 +90,14 @@ Json instance_to_json(const Instance& instance) {
     v["qos_guarantee"] = Json::number(vm.qos_guarantee);
     v["downtime_cost"] = Json::number(vm.downtime_cost);
     v["migration_cost"] = Json::number(vm.migration_cost);
+    // Consumer identity / honest demand, omitted at their defaults so
+    // legacy anonymous instances keep their exact serialized shape.
+    if (vm.consumer != 0) {
+      v["consumer"] = Json::integer(static_cast<std::uint64_t>(vm.consumer));
+    }
+    if (!vm.true_demand.empty()) {
+      v["true_demand"] = vector_to_json(vm.true_demand);
+    }
     vms.push_back(std::move(v));
   }
   root["vms"] = std::move(vms);
@@ -149,6 +157,12 @@ Instance instance_from_json(const Json& json) {
     vm.qos_guarantee = record.at("qos_guarantee").as_number();
     vm.downtime_cost = record.at("downtime_cost").as_number();
     vm.migration_cost = record.at("migration_cost").as_number();
+    if (record.contains("consumer")) {
+      vm.consumer = u32(record.at("consumer"));
+    }
+    if (record.contains("true_demand")) {
+      vm.true_demand = vector_from_json(record.at("true_demand"));
+    }
     requests.vms.push_back(std::move(vm));
   }
 

@@ -21,6 +21,7 @@ constexpr std::uint8_t kFlagProviders = 1u << 0;
 constexpr std::uint8_t kFlagAdmission = 1u << 1;
 constexpr std::uint8_t kFlagShard = 1u << 2;
 constexpr std::uint8_t kFlagAllocatorTrace = 1u << 3;
+constexpr std::uint8_t kFlagFairness = 1u << 4;
 
 // ------------------------------------------------------- encoding -----
 
@@ -231,6 +232,9 @@ void put_window(std::string& out, const WindowMetrics& row) {
   if (!row.allocator_trace.empty()) {
     flags |= kFlagAllocatorTrace;
   }
+  if (row.fairness.consumers != 0) {
+    flags |= kFlagFairness;
+  }
   put_u8(out, flags);
   put_varint(out, row.window);
   put_varint(out, row.arrived);
@@ -296,6 +300,18 @@ void put_window(std::string& out, const WindowMetrics& row) {
     put_varint(out, row.shard.max_shard_vms);
     put_varint(out, row.shard.min_shard_vms);
   }
+  if ((flags & kFlagFairness) != 0) {
+    put_varint(out, row.fairness.consumers);
+    put_varint(out, row.fairness.strategic_consumers);
+    put_varint(out, row.fairness.strategic_vms);
+    put_f64(out, row.fairness.jain_index);
+    put_f64(out, row.fairness.long_term_jain);
+    put_f64(out, row.fairness.envy);
+    put_f64(out, row.fairness.utilization_efficiency);
+    put_f64(out, row.fairness.honest_welfare);
+    put_f64(out, row.fairness.strategic_welfare);
+    put_f64(out, row.fairness.energy_cost);
+  }
   put_u8(out, static_cast<std::uint8_t>(row.degrade));
   put_string(out, row.fallback_algorithm);
   put_f64(out, row.objectives.usage_cost);
@@ -311,7 +327,7 @@ WindowMetrics read_window(ByteReader& in) {
   WindowMetrics row;
   const std::uint8_t flags = in.u8();
   if ((flags & ~(kFlagProviders | kFlagAdmission | kFlagShard |
-                 kFlagAllocatorTrace)) != 0) {
+                 kFlagAllocatorTrace | kFlagFairness)) != 0) {
     parse_error("unknown window flags");
   }
   row.window = in.size_value();
@@ -388,6 +404,18 @@ WindowMetrics read_window(ByteReader& in) {
     row.shard.migrations = in.size_value();
     row.shard.max_shard_vms = in.size_value();
     row.shard.min_shard_vms = in.size_value();
+  }
+  if ((flags & kFlagFairness) != 0) {
+    row.fairness.consumers = in.size_value();
+    row.fairness.strategic_consumers = in.size_value();
+    row.fairness.strategic_vms = in.size_value();
+    row.fairness.jain_index = in.f64();
+    row.fairness.long_term_jain = in.f64();
+    row.fairness.envy = in.f64();
+    row.fairness.utilization_efficiency = in.f64();
+    row.fairness.honest_welfare = in.f64();
+    row.fairness.strategic_welfare = in.f64();
+    row.fairness.energy_cost = in.f64();
   }
   const std::uint8_t degrade = in.u8();
   if (degrade > static_cast<std::uint8_t>(DegradeLevel::kFallback)) {

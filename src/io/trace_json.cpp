@@ -298,6 +298,23 @@ Json sim_trace_to_json(const std::vector<WindowMetrics>& metrics) {
       shard["min_shard_vms"] = num(row.shard.min_shard_vms);
       w["shard"] = std::move(shard);
     }
+    // Fairness block: absent for legacy anonymous runs (consumers == 0).
+    if (row.fairness.consumers != 0) {
+      Json fairness = Json::object();
+      fairness["consumers"] = num(row.fairness.consumers);
+      fairness["strategic_consumers"] = num(row.fairness.strategic_consumers);
+      fairness["strategic_vms"] = num(row.fairness.strategic_vms);
+      fairness["jain_index"] = Json::number(row.fairness.jain_index);
+      fairness["long_term_jain"] = Json::number(row.fairness.long_term_jain);
+      fairness["envy"] = Json::number(row.fairness.envy);
+      fairness["utilization_efficiency"] =
+          Json::number(row.fairness.utilization_efficiency);
+      fairness["honest_welfare"] = Json::number(row.fairness.honest_welfare);
+      fairness["strategic_welfare"] =
+          Json::number(row.fairness.strategic_welfare);
+      fairness["energy_cost"] = Json::number(row.fairness.energy_cost);
+      w["fairness"] = std::move(fairness);
+    }
     w["degrade"] = Json::string(degrade_level_name(row.degrade));
     w["fallback_algorithm"] = Json::string(row.fallback_algorithm);
     Json objectives = Json::array();
@@ -372,6 +389,22 @@ std::vector<WindowMetrics> sim_trace_from_json(const Json& json) {
       row.shard.migrations = as_size(shard.at("migrations"));
       row.shard.max_shard_vms = as_size(shard.at("max_shard_vms"));
       row.shard.min_shard_vms = as_size(shard.at("min_shard_vms"));
+    }
+    if (w.contains("fairness")) {
+      const Json& fairness = w.at("fairness");
+      row.fairness.consumers = as_size(fairness.at("consumers"));
+      row.fairness.strategic_consumers =
+          as_size(fairness.at("strategic_consumers"));
+      row.fairness.strategic_vms = as_size(fairness.at("strategic_vms"));
+      row.fairness.jain_index = fairness.at("jain_index").as_number();
+      row.fairness.long_term_jain = fairness.at("long_term_jain").as_number();
+      row.fairness.envy = fairness.at("envy").as_number();
+      row.fairness.utilization_efficiency =
+          fairness.at("utilization_efficiency").as_number();
+      row.fairness.honest_welfare = fairness.at("honest_welfare").as_number();
+      row.fairness.strategic_welfare =
+          fairness.at("strategic_welfare").as_number();
+      row.fairness.energy_cost = fairness.at("energy_cost").as_number();
     }
     row.degrade = degrade_level_from_name(w.at("degrade").as_string());
     row.fallback_algorithm = w.at("fallback_algorithm").as_string();

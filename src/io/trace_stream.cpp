@@ -204,6 +204,31 @@ void emit_window_metrics(JsonEmitter& e, const WindowMetrics& row) {
     e.value(static_cast<std::uint64_t>(row.shard.min_shard_vms));
     e.end_object();
   }
+  if (row.fairness.consumers != 0) {
+    e.key("fairness");
+    e.begin_object();
+    e.key("consumers");
+    e.value(static_cast<std::uint64_t>(row.fairness.consumers));
+    e.key("strategic_consumers");
+    e.value(static_cast<std::uint64_t>(row.fairness.strategic_consumers));
+    e.key("strategic_vms");
+    e.value(static_cast<std::uint64_t>(row.fairness.strategic_vms));
+    e.key("jain_index");
+    e.value(row.fairness.jain_index);
+    e.key("long_term_jain");
+    e.value(row.fairness.long_term_jain);
+    e.key("envy");
+    e.value(row.fairness.envy);
+    e.key("utilization_efficiency");
+    e.value(row.fairness.utilization_efficiency);
+    e.key("honest_welfare");
+    e.value(row.fairness.honest_welfare);
+    e.key("strategic_welfare");
+    e.value(row.fairness.strategic_welfare);
+    e.key("energy_cost");
+    e.value(row.fairness.energy_cost);
+    e.end_object();
+  }
   e.key("degrade");
   e.value(degrade_level_name(row.degrade));
   e.key("fallback_algorithm");

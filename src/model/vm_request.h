@@ -7,17 +7,33 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace iaas {
 
 struct VmRequest {
-  std::vector<double> demand;     // C_kl >= 0
+  std::vector<double> demand;     // C_kl >= 0 (as reported by the consumer)
   double qos_guarantee = 0.9;     // C^Q_k in (0, 1)
   double downtime_cost = 0.0;     // C^U_k >= 0
   double migration_cost = 0.0;    // M_k >= 0
 
+  // Owning consumer (tenant).  Always 0 in legacy anonymous scenarios
+  // (ScenarioConfig::consumers == 0), where fairness metrics are off.
+  std::uint32_t consumer = 0;
+
+  // Honest demand vector when the consumer misreported (strategic
+  // mode); empty means demand is truthful.  Allocators never look at
+  // this — only the fairness metrics layer does.
+  std::vector<double> true_demand;
+
   [[nodiscard]] std::size_t attribute_count() const { return demand.size(); }
+
+  // What the VM actually needs: true_demand if the consumer lied,
+  // otherwise the reported demand.
+  [[nodiscard]] const std::vector<double>& actual_demand() const {
+    return true_demand.empty() ? demand : true_demand;
+  }
 
   [[nodiscard]] bool valid(std::size_t h) const {
     if (demand.size() != h) {
@@ -26,6 +42,16 @@ struct VmRequest {
     for (double d : demand) {
       if (d < 0.0) {
         return false;
+      }
+    }
+    if (!true_demand.empty()) {
+      if (true_demand.size() != h) {
+        return false;
+      }
+      for (double d : true_demand) {
+        if (d < 0.0) {
+          return false;
+        }
       }
     }
     return qos_guarantee > 0.0 && qos_guarantee < 1.0 &&

@@ -222,6 +222,20 @@ std::uint64_t deterministic_fingerprint(
     fnv_u64(h, row.shard.migrations);
     fnv_u64(h, row.shard.max_shard_vms);
     fnv_u64(h, row.shard.min_shard_vms);
+    // Fairness block: the consumer count is hashed unconditionally (like
+    // providers.size()) so "absent" and "present but idle" differ.
+    fnv_u64(h, row.fairness.consumers);
+    if (row.fairness.consumers != 0) {
+      fnv_u64(h, row.fairness.strategic_consumers);
+      fnv_u64(h, row.fairness.strategic_vms);
+      fnv_f64(h, row.fairness.jain_index);
+      fnv_f64(h, row.fairness.long_term_jain);
+      fnv_f64(h, row.fairness.envy);
+      fnv_f64(h, row.fairness.utilization_efficiency);
+      fnv_f64(h, row.fairness.honest_welfare);
+      fnv_f64(h, row.fairness.strategic_welfare);
+      fnv_f64(h, row.fairness.energy_cost);
+    }
     fnv_u64(h, static_cast<std::uint64_t>(row.degrade));
     fnv_str(h, row.fallback_algorithm);
     fnv_f64(h, row.objectives.usage_cost);
@@ -311,6 +325,15 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
       genes.insert(genes.end(), count, Placement::kRejected);
     }
   };
+
+  // Long-term fairness: per-consumer served shares summed over the whole
+  // horizon so far (index = consumer id).  Only consumers that have
+  // appeared in some window participate in the long-term Jain index.
+  const bool track_fairness = config_.scenario.consumers > 0;
+  std::vector<double> cumulative_share(
+      track_fairness ? config_.scenario.consumers : 0, 0.0);
+  std::vector<char> consumer_seen(
+      track_fairness ? config_.scenario.consumers : 0, 0);
 
   std::vector<WindowMetrics> metrics;
   metrics.reserve(config_.windows);
@@ -580,6 +603,33 @@ std::vector<WindowMetrics> CloudSimulator::run(std::uint64_t seed) {
     row.rejected = result.rejected;
     row.objectives = result.objectives;
     row.shard = result.shard;
+
+    // Fairness/welfare columns, scored on the full window instance (so
+    // rejected VMs count against their consumer) before compaction.
+    if (track_fairness) {
+      const FairnessReport fair =
+          compute_fairness(instance, result.placement, config_.fairness);
+      row.fairness.consumers = fair.consumers.size();
+      row.fairness.strategic_consumers = fair.strategic_consumers;
+      row.fairness.strategic_vms = fair.strategic_vms;
+      row.fairness.jain_index = fair.jain;
+      row.fairness.envy = fair.envy;
+      row.fairness.utilization_efficiency = fair.utilization_efficiency;
+      row.fairness.honest_welfare = fair.honest_welfare;
+      row.fairness.strategic_welfare = fair.strategic_welfare;
+      row.fairness.energy_cost = fair.energy_cost;
+      std::vector<double> long_term;
+      for (const ConsumerShare& share : fair.consumers) {
+        cumulative_share[share.consumer] += share.served;
+        consumer_seen[share.consumer] = 1;
+      }
+      for (std::size_t c = 0; c < cumulative_share.size(); ++c) {
+        if (consumer_seen[c]) {
+          long_term.push_back(cumulative_share[c]);
+        }
+      }
+      row.fairness.long_term_jain = jain_index(long_term);
+    }
 
     // Apply: rejected VMs leave the platform — into the retry queue
     // while their attempt budget lasts, permanently otherwise.  A VM

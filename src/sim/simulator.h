@@ -27,6 +27,7 @@
 #include "algo/allocator.h"
 #include "common/rng.h"
 #include "common/telemetry.h"
+#include "model/fairness.h"
 #include "model/instance.h"
 #include "sim/fault_model.h"
 #include "sim/reconfiguration_plan.h"
@@ -96,6 +97,9 @@ struct SimConfig {
   // whose arrival would push the backlog past the cap is shed entirely
   // and counted in admission_dropped — load shedding, not deferral.
   std::size_t admission_queue_limit = 0;
+  // Fairness/energy metric knobs; only consulted when scenario.consumers
+  // > 0 (which turns the per-window fairness columns on).
+  FairnessConfig fairness;
   ScenarioConfig scenario;                 // infrastructure + request shape
 };
 
@@ -135,6 +139,22 @@ struct ProviderWindowMetrics {
   ObjectiveVector objectives;        // price-scaled Eq. 22/23/26 split
 };
 
+// Fairness/welfare columns of one window (model/fairness.h definitions).
+// consumers == 0 marks the block as absent — legacy anonymous runs and
+// windows with no live VMs keep their trace shape and fingerprint.
+struct FairnessWindowMetrics {
+  std::size_t consumers = 0;            // distinct consumers this window
+  std::size_t strategic_consumers = 0;  // of those, with misreported VMs
+  std::size_t strategic_vms = 0;        // VMs carrying a true_demand
+  double jain_index = 1.0;              // over served dominant shares
+  double long_term_jain = 1.0;          // over shares summed since window 0
+  double envy = 0.0;                    // mean welfare shortfall vs best-off
+  double utilization_efficiency = 1.0;  // served actual / served reported
+  double honest_welfare = 0.0;          // mean honest-consumer welfare
+  double strategic_welfare = 0.0;       // mean strategic-consumer welfare
+  double energy_cost = 0.0;             // powered-server energy draw
+};
+
 struct WindowMetrics {
   std::size_t window = 0;
   std::size_t arrived = 0;
@@ -168,6 +188,9 @@ struct WindowMetrics {
   std::size_t admission_queue_depth = 0;  // backlog VMs after the window
   // --- sharded allocator (shard_count 0 = unsharded window) ---
   ShardRunStats shard;
+  // --- fairness/welfare (consumers 0 = block absent; scenario.consumers
+  // == 0 or an empty window) ---
+  FairnessWindowMetrics fairness;
   // --- graceful degradation ---
   DegradeLevel degrade = DegradeLevel::kNone;
   std::string fallback_algorithm;  // set when degrade == kFallback

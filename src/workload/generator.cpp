@@ -8,6 +8,7 @@
 #include "common/expect.h"
 #include "common/rng.h"
 #include "model/constraint_checker.h"
+#include "workload/strategic.h"
 
 namespace iaas {
 
@@ -74,6 +75,10 @@ ScenarioGenerator::ScenarioGenerator(
   IAAS_EXPECT(config_.group_size_min >= 2 &&
                   config_.group_size_max >= config_.group_size_min,
               "relationship groups need at least two members");
+  const std::vector<std::string> findings = validate_scenario(config_);
+  for (const std::string& finding : findings) {
+    IAAS_EXPECT(false, finding.c_str());
+  }
 }
 
 FabricConfig ScenarioGenerator::fabric_config() const {
@@ -131,6 +136,14 @@ RequestSet ScenarioGenerator::generate_requests(const Infrastructure& infra,
 
   RequestSet requests;
   requests.vms.resize(count);
+  // Deterministic, draw-free consumer identity: VM k of every batch
+  // belongs to consumer k mod consumers, so each consumer recurs in
+  // every window with a comparable slice of the batch.
+  if (config_.consumers > 0) {
+    for (std::uint32_t k = 0; k < count; ++k) {
+      requests.vms[k].consumer = k % config_.consumers;
+    }
+  }
   for (VmRequest& vm : requests.vms) {
     const VmFlavorParams& flavor = vm_flavors_[draw_weighted(vm_flavors_, rng)];
     vm.demand.resize(h);
@@ -212,6 +225,11 @@ RequestSet ScenarioGenerator::generate_requests(const Infrastructure& infra,
     }
     requests.constraints.push_back(std::move(c));
   }
+
+  // Strategic misreporting post-pass.  Runs on private per-consumer
+  // streams after every honest draw above, so the honest output is
+  // byte-identical whenever the pass is disabled.
+  apply_strategies(requests, infra, config_, seed);
   return requests;
 }
 

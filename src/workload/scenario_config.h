@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace iaas {
 
@@ -30,6 +31,49 @@ struct VmFlavorParams {
   double disk_gb;
   double weight;
 };
+
+// How one strategic consumer misrepresents its workload.  A strategic
+// consumer draws a per-VM inflation factor in [inflation_min,
+// inflation_max] and multiplies every reported demand attribute by it
+// (the honest vector is preserved in VmRequest::true_demand); it may
+// additionally pad its request set with a fabricated anti-affinity
+// group (spreading its VMs over distinct servers it does not need) and
+// time demand bursts: with probability burst_probability a whole batch
+// is inflated by an extra burst_multiplier.
+struct StrategyProfile {
+  double inflation_min = 1.2;               // >= 1
+  double inflation_max = 1.8;               // >= inflation_min
+  double pad_anti_affinity_probability = 0.5;  // in [0, 1]
+  std::uint32_t pad_group_size = 3;         // >= 2 members per padded group
+  double burst_probability = 0.25;          // in [0, 1], per request batch
+  double burst_multiplier = 1.5;            // >= 1, stacks on inflation
+};
+
+// Strategic-consumer mode: a deterministic post-pass over honestly
+// generated request batches.  With strategic_fraction == 0 the pass is
+// skipped entirely and the generator output is byte-identical to the
+// honest path.
+struct StrategicConfig {
+  // Fraction of consumers that behave strategically, in [0, 1].
+  // Membership is decided by hashing (consumer id, strategy_seed), so
+  // the strategic set is stable across windows and request batches.
+  double strategic_fraction = 0.0;
+
+  // Profiles assigned round-robin over strategic consumers
+  // (profiles[c % profiles.size()]).  Must be non-empty whenever
+  // strategic_fraction > 0.
+  std::vector<StrategyProfile> profiles;
+
+  // Salt for the per-consumer RNG streams; independent from the batch
+  // seed so honest draws never shift.
+  std::uint64_t strategy_seed = 0x5354524154ULL;
+
+  bool enabled() const { return strategic_fraction > 0.0; }
+};
+
+// A small default mix: one aggressive inflator, one affinity padder,
+// one bursty consumer.
+std::vector<StrategyProfile> default_strategy_profiles();
 
 struct ScenarioConfig {
   // --- infrastructure ---
@@ -76,6 +120,16 @@ struct ScenarioConfig {
   double weight_same_server = 0.20;
   double weight_different_servers = 0.35;
   double weight_different_datacenters = 0.15;
+
+  // --- consumers ---
+  // Number of distinct consumers (tenants).  VM k of a batch belongs to
+  // consumer k % consumers, so every consumer shows up in every batch.
+  // 0 = legacy anonymous mode: no consumer ids, no fairness columns.
+  std::uint32_t consumers = 0;
+
+  // Strategic misreporting; inert unless consumers > 0 and
+  // strategic.strategic_fraction > 0.
+  StrategicConfig strategic;
 
   // --- previous placement (migration term) ---
   // Fraction of VMs that were already running in the previous window (and

@@ -22,6 +22,7 @@
 #include "io/trace_json.h"
 #include "io/trace_stream.h"
 #include "sim/simulator.h"
+#include "workload/strategic.h"
 
 namespace iaas {
 namespace {
@@ -393,6 +394,66 @@ TEST(BinaryTrace, BrokeredTraceRoundTrips) {
   }
   ASSERT_TRUE(has_providers);
   expect_binary_roundtrip(rows, "brokered");
+}
+
+// Strategic-consumer horizon: fairness/welfare columns in every
+// non-empty window.
+std::vector<WindowMetrics> strategic_run() {
+  SimConfig cfg;
+  cfg.windows = 4;
+  cfg.arrivals_per_window_mean = 10.0;
+  cfg.departure_probability = 0.15;
+  cfg.scenario = ScenarioConfig::paper_scale(32, 2);
+  cfg.scenario.vms = 0;
+  cfg.scenario.consumers = 6;
+  cfg.scenario.strategic.strategic_fraction = 0.5;
+  cfg.scenario.strategic.profiles = default_strategy_profiles();
+  EaAllocatorOptions options;
+  options.nsga.population_size = 16;
+  options.nsga.max_evaluations = 320;
+  options.nsga.reference_divisions = 4;
+  CloudSimulator sim(cfg, std::make_unique<Nsga3TabuAllocator>(options));
+  return sim.run(23);
+}
+
+TEST(BinaryTrace, StrategicTraceRoundTrips) {
+  const std::vector<WindowMetrics> rows = strategic_run();
+  bool has_fairness = false;
+  bool has_strategic = false;
+  for (const WindowMetrics& w : rows) {
+    has_fairness = has_fairness || w.fairness.consumers > 0;
+    has_strategic = has_strategic || w.fairness.strategic_vms > 0;
+  }
+  ASSERT_TRUE(has_fairness);
+  ASSERT_TRUE(has_strategic);
+  expect_binary_roundtrip(rows, "strategic");
+}
+
+TEST(SimTraceJson, FairnessBlockRoundTripsThroughJson) {
+  const std::vector<WindowMetrics> rows = strategic_run();
+  const Json doc = sim_trace_to_json(rows);
+  const Json& windows = doc.at("windows");
+  bool any_block = false;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const Json& w = windows.at(i);
+    if (rows[i].fairness.consumers == 0) {
+      EXPECT_FALSE(w.contains("fairness"));  // absent, not zero-filled
+      continue;
+    }
+    any_block = true;
+    ASSERT_TRUE(w.contains("fairness"));
+    const Json& f = w.at("fairness");
+    EXPECT_EQ(static_cast<std::size_t>(f.at("consumers").as_number()),
+              rows[i].fairness.consumers);
+    EXPECT_DOUBLE_EQ(f.at("jain_index").as_number(),
+                     rows[i].fairness.jain_index);
+    EXPECT_DOUBLE_EQ(f.at("energy_cost").as_number(),
+                     rows[i].fairness.energy_cost);
+  }
+  ASSERT_TRUE(any_block);
+  const std::vector<WindowMetrics> reloaded = sim_trace_from_json(doc);
+  EXPECT_EQ(deterministic_fingerprint(reloaded),
+            deterministic_fingerprint(rows));
 }
 
 TEST(BinaryTrace, RunTraceWithHuge64BitSeedRoundTrips) {

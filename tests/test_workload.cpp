@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "model/constraint_checker.h"
+#include "workload/strategic.h"
 
 namespace iaas {
 namespace {
@@ -172,6 +173,148 @@ TEST(ScenarioGenerator, DefaultCatalogsAreSane) {
     max_srv_cpu = std::max(max_srv_cpu, c.cpu_cores);
   }
   EXPECT_LE(max_vm_cpu, max_srv_cpu);
+}
+
+// --- strategic-consumer mode ---
+
+ScenarioConfig strategic_config(double fraction) {
+  ScenarioConfig cfg = ScenarioConfig::paper_scale(32);
+  cfg.consumers = 8;
+  cfg.strategic.strategic_fraction = fraction;
+  cfg.strategic.profiles = default_strategy_profiles();
+  return cfg;
+}
+
+void expect_same_requests(const RequestSet& a, const RequestSet& b,
+                          bool compare_consumers) {
+  ASSERT_EQ(a.vms.size(), b.vms.size());
+  for (std::size_t k = 0; k < a.vms.size(); ++k) {
+    EXPECT_EQ(a.vms[k].demand, b.vms[k].demand) << "vm " << k;
+    EXPECT_EQ(a.vms[k].true_demand, b.vms[k].true_demand) << "vm " << k;
+    EXPECT_DOUBLE_EQ(a.vms[k].qos_guarantee, b.vms[k].qos_guarantee);
+    EXPECT_DOUBLE_EQ(a.vms[k].downtime_cost, b.vms[k].downtime_cost);
+    EXPECT_DOUBLE_EQ(a.vms[k].migration_cost, b.vms[k].migration_cost);
+    if (compare_consumers) {
+      EXPECT_EQ(a.vms[k].consumer, b.vms[k].consumer);
+    }
+  }
+  ASSERT_EQ(a.constraints.size(), b.constraints.size());
+  for (std::size_t c = 0; c < a.constraints.size(); ++c) {
+    EXPECT_EQ(a.constraints[c].kind, b.constraints[c].kind);
+    EXPECT_EQ(a.constraints[c].vms, b.constraints[c].vms);
+  }
+}
+
+TEST(StrategicGenerator, BitIdenticalAcrossRepeatRuns) {
+  // Two independent generator instances replay the same strategic batch
+  // exactly: demands, hidden true demands, and padded groups.
+  const ScenarioGenerator gen_a(strategic_config(0.5));
+  const ScenarioGenerator gen_b(strategic_config(0.5));
+  const Instance a = gen_a.generate(7);
+  const Instance b = gen_b.generate(7);
+  expect_same_requests(a.requests, b.requests, /*compare_consumers=*/true);
+  bool any_strategic = false;
+  for (const VmRequest& vm : a.requests.vms) {
+    any_strategic = any_strategic || !vm.true_demand.empty();
+  }
+  EXPECT_TRUE(any_strategic);
+}
+
+TEST(StrategicGenerator, FractionZeroMatchesHonestGenerator) {
+  // Differential guarantee: the strategic pass consumes nothing from
+  // the honest stream, so fraction 0 reproduces the legacy output
+  // element for element (only the consumer tags are new).
+  const ScenarioGenerator legacy(ScenarioConfig::paper_scale(32));
+  const ScenarioGenerator tagged(strategic_config(0.0));
+  const Instance a = legacy.generate(11);
+  const Instance b = tagged.generate(11);
+  expect_same_requests(a.requests, b.requests, /*compare_consumers=*/false);
+  for (const VmRequest& vm : a.requests.vms) {
+    EXPECT_EQ(vm.consumer, 0u);
+    EXPECT_TRUE(vm.true_demand.empty());
+  }
+  for (const VmRequest& vm : b.requests.vms) {
+    EXPECT_TRUE(vm.true_demand.empty());  // nobody misreports
+  }
+}
+
+TEST(StrategicGenerator, DisabledProfilesLeaveNoFingerprints) {
+  // At fraction 0 the profile contents and strategy seed must be inert.
+  ScenarioConfig loud = strategic_config(0.0);
+  loud.strategic.strategy_seed ^= 0xABCDEFULL;
+  loud.strategic.profiles[0].inflation_max = 50.0;
+  const Instance a = ScenarioGenerator(strategic_config(0.0)).generate(13);
+  const Instance b = ScenarioGenerator(loud).generate(13);
+  expect_same_requests(a.requests, b.requests, /*compare_consumers=*/true);
+}
+
+TEST(StrategicGenerator, InflationOnlyRaisesReportedDemand) {
+  const ScenarioConfig cfg = strategic_config(0.5);
+  const ScenarioGenerator gen(cfg);
+  const Instance inst = gen.generate(19);
+
+  std::vector<double> max_eff(inst.h(), 0.0);
+  for (std::size_t j = 0; j < inst.m(); ++j) {
+    for (std::size_t l = 0; l < inst.h(); ++l) {
+      max_eff[l] =
+          std::max(max_eff[l], inst.infra.server(j).effective_capacity(l));
+    }
+  }
+  std::size_t strategic_vms = 0;
+  for (const VmRequest& vm : inst.requests.vms) {
+    if (vm.true_demand.empty()) {
+      continue;
+    }
+    ++strategic_vms;
+    ASSERT_EQ(vm.true_demand.size(), vm.demand.size());
+    for (std::size_t l = 0; l < vm.demand.size(); ++l) {
+      EXPECT_GE(vm.demand[l], vm.true_demand[l] - 1e-12);
+      EXPECT_LE(vm.demand[l], max_eff[l] + 1e-12);  // stays placeable
+    }
+    // Misreports only come from consumers in the strategic set.
+    EXPECT_TRUE(is_strategic_consumer(cfg.strategic, cfg.consumers,
+                                      vm.consumer));
+  }
+  EXPECT_GT(strategic_vms, 0u);
+}
+
+TEST(StrategicGenerator, PaddingPreservesOneGroupPerVm) {
+  ScenarioConfig cfg = strategic_config(1.0);
+  cfg.constrained_fraction = 0.5;
+  for (StrategyProfile& profile : cfg.strategic.profiles) {
+    profile.pad_anti_affinity_probability = 1.0;  // force padding
+  }
+  const ScenarioGenerator gen(cfg);
+  const Instance inst = gen.generate(29);
+
+  std::vector<int> membership(inst.n(), 0);
+  bool any_padded = false;
+  for (const PlacementConstraint& c : inst.requests.constraints) {
+    EXPECT_GE(c.vms.size(), 2u);
+    any_padded =
+        any_padded || c.kind == RelationKind::kDifferentServers;
+    for (std::uint32_t k : c.vms) {
+      ++membership[k];
+    }
+  }
+  EXPECT_TRUE(any_padded);
+  for (int m : membership) {
+    EXPECT_LE(m, 1);
+  }
+  EXPECT_TRUE(inst.requests.valid(inst.h()));
+}
+
+TEST(StrategicGenerator, ConsumerTagsCoverTheConfiguredRange) {
+  const ScenarioConfig cfg = strategic_config(0.25);
+  const Instance inst = ScenarioGenerator(cfg).generate(31);
+  std::vector<std::size_t> per_consumer(cfg.consumers, 0);
+  for (const VmRequest& vm : inst.requests.vms) {
+    ASSERT_LT(vm.consumer, cfg.consumers);
+    ++per_consumer[vm.consumer];
+  }
+  for (std::size_t c = 0; c < per_consumer.size(); ++c) {
+    EXPECT_GT(per_consumer[c], 0u) << "consumer " << c;
+  }
 }
 
 }  // namespace
